@@ -1,0 +1,247 @@
+package amdahlyd
+
+import (
+	"math"
+	"testing"
+
+	"amdahlyd/internal/baselines"
+	"amdahlyd/internal/core"
+	"amdahlyd/internal/costmodel"
+	"amdahlyd/internal/experiments"
+	"amdahlyd/internal/multilevel"
+	"amdahlyd/internal/optimize"
+	"amdahlyd/internal/platform"
+	"amdahlyd/internal/rng"
+	"amdahlyd/internal/sim"
+)
+
+// benchConfig is the reduced Monte-Carlo budget used by the per-figure
+// benchmarks: same code paths as the paper's 500×500 runs, ~100× cheaper,
+// so `go test -bench .` regenerates every figure in seconds.
+func benchConfig() experiments.Config {
+	cfg := experiments.Quick()
+	cfg.Seed = 1
+	return cfg
+}
+
+func heraModel(b *testing.B, sc costmodel.Scenario, alpha float64) core.Model {
+	b.Helper()
+	m, err := experiments.BuildModel(platform.Hera(), sc, alpha, 3600)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return m
+}
+
+// ---------------------------------------------------------------------
+// One benchmark per figure of the evaluation section (Figs. 2–7).
+// ---------------------------------------------------------------------
+
+// BenchmarkFig2 regenerates Fig. 2 (optimal patterns per scenario) on all
+// four Table II platforms.
+func BenchmarkFig2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig2(platform.All(), benchConfig()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig3 regenerates Fig. 3 (period and overhead vs processor
+// count on Hera).
+func BenchmarkFig3(b *testing.B) {
+	procs := []float64{256, 512, 768, 1024, 1280}
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig3(platform.Hera(), procs, benchConfig()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig4 regenerates Fig. 4 (impact of the sequential fraction α).
+func BenchmarkFig4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig4(platform.Hera(), nil, benchConfig()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig5 regenerates Fig. 5 (impact of λ_ind at α = 0.1).
+func BenchmarkFig5(b *testing.B) {
+	lambdas := []float64{1e-12, 1e-11, 1e-10, 1e-9, 1e-8}
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig5(platform.Hera(), lambdas, benchConfig()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig6 regenerates Fig. 6 (λ_ind sweep with α = 0).
+func BenchmarkFig6(b *testing.B) {
+	lambdas := []float64{1e-12, 1e-11, 1e-10, 1e-9, 1e-8}
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig6(platform.Hera(), lambdas, benchConfig()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig7 regenerates Fig. 7 (impact of the downtime D).
+func BenchmarkFig7(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig7(platform.Hera(), nil, benchConfig()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------
+// Hot-path micro-benchmarks.
+// ---------------------------------------------------------------------
+
+// BenchmarkExactPatternTime measures one evaluation of Proposition 1, the
+// innermost objective of every optimization.
+func BenchmarkExactPatternTime(b *testing.B) {
+	m := heraModel(b, costmodel.Scenario1, 0.1)
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += m.ExactPatternTime(6000, 512)
+	}
+	_ = sink
+}
+
+// BenchmarkFirstOrderSolve measures the closed-form Theorem 2/3 solver.
+func BenchmarkFirstOrderSolve(b *testing.B) {
+	m := heraModel(b, costmodel.Scenario1, 0.1)
+	for i := 0; i < b.N; i++ {
+		if _, err := m.FirstOrder(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkNumericalOptimum measures the full nested (T, P) optimization
+// of the exact overhead.
+func BenchmarkNumericalOptimum(b *testing.B) {
+	m := heraModel(b, costmodel.Scenario3, 0.1)
+	for i := 0; i < b.N; i++ {
+		if _, err := optimize.OptimalPattern(m, optimize.PatternOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkIterativeRelaxation measures the Jin-style baseline solver.
+func BenchmarkIterativeRelaxation(b *testing.B) {
+	m := heraModel(b, costmodel.Scenario3, 0.1)
+	for i := 0; i < b.N; i++ {
+		if _, _, err := baselines.IterativeRelaxation(m, 0, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkProtocolPattern measures pattern-level simulator throughput
+// (patterns per second) at Hera's real error pressure.
+func BenchmarkProtocolPattern(b *testing.B) {
+	m := heraModel(b, costmodel.Scenario1, 0.1)
+	pr, err := sim.NewProtocol(m, 6240, 219)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := rng.New(1)
+	var st sim.PatternStats
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pr.SimulatePattern(r, &st)
+	}
+}
+
+// BenchmarkMachinePattern measures machine-level (per-processor event)
+// simulation — the ablation partner of BenchmarkProtocolPattern: it
+// quantifies the cost of explicit per-processor failure modelling.
+func BenchmarkMachinePattern(b *testing.B) {
+	m := heraModel(b, costmodel.Scenario1, 0.1)
+	mc, err := sim.NewMachine(m, 6240, 219)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := rng.New(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := mc.SimulateRun(1, r.Split(uint64(i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTwoLevelPattern measures the multilevel-extension simulator.
+func BenchmarkTwoLevelPattern(b *testing.B) {
+	m := heraModel(b, costmodel.Scenario3, 0.1)
+	lf, ls := m.Rates(512)
+	costs, err := multilevel.SingleLevelCosts(m, 512, 20.0/300)
+	if err != nil {
+		b.Fatal(err)
+	}
+	plan, err := multilevel.FirstOrder(costs, lf, ls, m.Profile.Overhead(512))
+	if err != nil {
+		b.Fatal(err)
+	}
+	s, err := multilevel.NewSimulator(costs, plan.Pattern, lf, ls)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := rng.New(1)
+	var st multilevel.Stats
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.SimulatePattern(r, &st)
+	}
+}
+
+// ---------------------------------------------------------------------
+// Ablations called out in DESIGN.md.
+// ---------------------------------------------------------------------
+
+// BenchmarkInnerGolden vs BenchmarkInnerBrent: the two scalar minimizers
+// on the real inner objective (overhead as a function of log-period).
+func innerObjective(b *testing.B) func(float64) float64 {
+	m := heraModel(b, costmodel.Scenario1, 0.1)
+	return func(logT float64) float64 {
+		return m.Overhead(math.Exp(logT), 512)
+	}
+}
+
+func BenchmarkInnerGolden(b *testing.B) {
+	obj := innerObjective(b)
+	for i := 0; i < b.N; i++ {
+		res := optimize.Golden(obj, 0, 25, 1e-10, 0)
+		if !res.Converged {
+			b.Fatal("golden did not converge")
+		}
+	}
+}
+
+func BenchmarkInnerBrent(b *testing.B) {
+	obj := innerObjective(b)
+	for i := 0; i < b.N; i++ {
+		res := optimize.BrentMin(obj, 0, 25, 1e-10, 0)
+		if !res.Converged {
+			b.Fatal("brent did not converge")
+		}
+	}
+}
+
+// BenchmarkSimulateCampaign measures a full Monte-Carlo campaign (the
+// unit of work behind every figure data point) at the bench budget.
+func BenchmarkSimulateCampaign(b *testing.B) {
+	m := heraModel(b, costmodel.Scenario1, 0.1)
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.Simulate(m, 6240, 219, sim.RunConfig{
+			Runs: 40, Patterns: 60, Seed: uint64(i),
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

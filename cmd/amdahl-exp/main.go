@@ -1,0 +1,151 @@
+// Command amdahl-exp regenerates the paper's evaluation figures
+// (Figs. 2–7 of Section IV) as text tables and CSV series.
+//
+// Usage:
+//
+//	amdahl-exp -fig 2                  # Fig. 2 on all four platforms
+//	amdahl-exp -fig 5 -quick           # reduced Monte-Carlo budget
+//	amdahl-exp -fig all -out results/  # everything, with CSV files
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"amdahlyd/internal/costmodel"
+	"amdahlyd/internal/experiments"
+	"amdahlyd/internal/platform"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "amdahl-exp:", err)
+		os.Exit(1)
+	}
+}
+
+// renderable is the common surface of every figure result.
+type renderable interface {
+	Render(w io.Writer) error
+	WriteCSV(w io.Writer) error
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("amdahl-exp", flag.ContinueOnError)
+	fig := fs.String("fig", "all", "figure to regenerate: 2, 3, 4, 5, 6, 7 or all")
+	platName := fs.String("platform", "", "platform for Figs. 3-7 (default hera) or Fig. 2 (default all)")
+	quick := fs.Bool("quick", false, "reduced Monte-Carlo budget (~100× faster)")
+	outDir := fs.String("out", "", "directory for CSV output (optional)")
+	seed := fs.Uint64("seed", 1, "random seed")
+	runs := fs.Int("runs", 0, "override Monte-Carlo runs per point")
+	patterns := fs.Int("patterns", 0, "override patterns per run")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cfg := experiments.Config{Seed: *seed}
+	if *quick {
+		cfg = experiments.Quick()
+		cfg.Seed = *seed
+	}
+	if *runs > 0 {
+		cfg.Runs = *runs
+	}
+	if *patterns > 0 {
+		cfg.Patterns = *patterns
+	}
+
+	sweepPlatform := platform.Hera()
+	fig2Platforms := platform.All()
+	if *platName != "" {
+		pl, err := platform.Lookup(*platName)
+		if err != nil {
+			return err
+		}
+		sweepPlatform = pl
+		fig2Platforms = []platform.Platform{pl}
+	}
+
+	figures := strings.Split(*fig, ",")
+	if *fig == "all" {
+		figures = []string{"2", "3", "4", "5", "6", "7", "profiles", "baselines"}
+	}
+
+	for _, f := range figures {
+		var (
+			res  renderable
+			err  error
+			name = "fig" + f
+		)
+		switch strings.TrimSpace(f) {
+		case "2":
+			res, err = experiments.Fig2(fig2Platforms, cfg)
+		case "3":
+			res, err = experiments.Fig3(sweepPlatform, nil, cfg)
+		case "4":
+			res, err = experiments.Fig4(sweepPlatform, nil, cfg)
+		case "5":
+			res, err = experiments.Fig5(sweepPlatform, nil, cfg)
+		case "6":
+			res, err = experiments.Fig6(sweepPlatform, nil, cfg)
+		case "7":
+			res, err = experiments.Fig7(sweepPlatform, nil, cfg)
+		case "profiles":
+			// Extension beyond the paper: speedup profiles other than
+			// Amdahl's law (Section V future work).
+			res, err = experiments.ProfileStudy(sweepPlatform, costmodel.Scenario1, nil, cfg)
+		case "baselines":
+			// The intro's motivation quantified: fail-stop-only
+			// Young/Daly tuning vs the VC-aware optimum, all platforms.
+			res, err = experiments.BaselineStudy(fig2Platforms, costmodel.Scenario1, cfg)
+		default:
+			return fmt.Errorf("unknown figure %q (want 2-7, profiles, baselines, or all)", f)
+		}
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		if err := res.Render(os.Stdout); err != nil {
+			return err
+		}
+		if sw, ok := res.(*experiments.SweepResult); ok && (f == "5" || f == "6") {
+			printSlopes(sw)
+		}
+		if *outDir != "" {
+			if err := writeCSV(*outDir, name, res); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func printSlopes(sw *experiments.SweepResult) {
+	fmt.Println("log-log slopes of the numerical optimum vs λ_ind:")
+	slopes := sw.Slopes()
+	for sc, s := range slopes {
+		fmt.Printf("  %v: P* slope %+.3f, T* slope %+.3f, H slope %+.3f\n",
+			sc, s.P, s.T, s.H)
+	}
+	fmt.Println()
+}
+
+func writeCSV(dir, name string, res renderable) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	path := filepath.Join(dir, name+".csv")
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := res.WriteCSV(f); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n\n", path)
+	return f.Close()
+}

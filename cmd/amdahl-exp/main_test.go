@@ -1,0 +1,93 @@
+package main
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func capture(t *testing.T, fn func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	errRun := fn()
+	w.Close()
+	os.Stdout = old
+	out, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(out), errRun
+}
+
+func TestRunFig2Quick(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run([]string{"-fig", "2", "-quick", "-platform", "hera",
+			"-runs", "10", "-patterns", "20"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, frag := range []string{"Fig. 2", "Hera", "scenario 6"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("output missing %q", frag)
+		}
+	}
+}
+
+func TestRunFig5PrintsSlopes(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run([]string{"-fig", "5", "-quick", "-runs", "10", "-patterns", "20"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "log-log slopes") {
+		t.Errorf("Fig. 5 should report slopes:\n%s", out)
+	}
+}
+
+func TestRunWritesCSV(t *testing.T) {
+	dir := t.TempDir()
+	_, err := capture(t, func() error {
+		return run([]string{"-fig", "7", "-quick", "-out", dir,
+			"-runs", "10", "-patterns", "20"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "fig7.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "pstar/scenario 1 (optimal)") {
+		t.Error("CSV content missing expected series")
+	}
+}
+
+func TestRunProfilesExtension(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run([]string{"-fig", "profiles", "-quick", "-runs", "10", "-patterns", "20"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "Profile study") || !strings.Contains(out, "gustafson") {
+		t.Errorf("profile study output wrong:\n%s", out)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run([]string{"-fig", "99"}); err == nil {
+		t.Error("unknown figure accepted")
+	}
+	if err := run([]string{"-platform", "unknown"}); err == nil {
+		t.Error("unknown platform accepted")
+	}
+}

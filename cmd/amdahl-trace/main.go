@@ -1,0 +1,190 @@
+// Command amdahl-trace generates, inspects and replays failure traces.
+//
+// Traces are CSV files of (time, kind, proc) rows in exposure time —
+// the format a real machine log can be converted into. Synthetic traces
+// are exponential with a platform's published rates (the distributional
+// assumption of the paper's simulator; see DESIGN.md, substitutions).
+//
+// Usage:
+//
+//	amdahl-trace gen -platform hera -procs 512 -horizon 1e7 -out trace.csv
+//	amdahl-trace stat -in trace.csv
+//	amdahl-trace replay -in trace.csv -platform hera -scenario 1 -T 6240 -P 219
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"amdahlyd/internal/costmodel"
+	"amdahlyd/internal/experiments"
+	"amdahlyd/internal/failures"
+	"amdahlyd/internal/platform"
+	"amdahlyd/internal/rng"
+	"amdahlyd/internal/sim"
+	"amdahlyd/internal/stats"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "amdahl-trace: need a subcommand: gen, stat or replay")
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "gen":
+		err = runGen(os.Args[2:])
+	case "stat":
+		err = runStat(os.Args[2:])
+	case "replay":
+		err = runReplay(os.Args[2:])
+	default:
+		err = fmt.Errorf("unknown subcommand %q (want gen, stat or replay)", os.Args[1])
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "amdahl-trace:", err)
+		os.Exit(1)
+	}
+}
+
+func runGen(args []string) error {
+	fs := flag.NewFlagSet("amdahl-trace gen", flag.ContinueOnError)
+	platName := fs.String("platform", "hera", "platform supplying λ_ind and f")
+	procs := fs.Int("procs", 512, "number of processors")
+	horizon := fs.Float64("horizon", 1e7, "trace length in exposure seconds")
+	seed := fs.Uint64("seed", 1, "random seed")
+	out := fs.String("out", "", "output CSV path (default stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	pl, err := platform.Lookup(*platName)
+	if err != nil {
+		return err
+	}
+	tr, err := failures.GenerateTrace(pl.LambdaInd, pl.FailStopFraction, *procs, *horizon, rng.New(*seed))
+	if err != nil {
+		return err
+	}
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := tr.WriteCSV(w); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "generated %d events (%d fail-stop, %d silent) over %.3g s on %d procs\n",
+		len(tr.Events), tr.Count(failures.FailStop), tr.Count(failures.Silent),
+		*horizon, *procs)
+	return nil
+}
+
+func runStat(args []string) error {
+	fs := flag.NewFlagSet("amdahl-trace stat", flag.ContinueOnError)
+	in := fs.String("in", "", "input CSV path (required)")
+	rate := fs.Float64("rate", 0, "expected platform rate P·λ_ind for a KS test (optional)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" {
+		return fmt.Errorf("need -in")
+	}
+	f, err := os.Open(*in)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	tr, err := failures.ReadCSV(f)
+	if err != nil {
+		return err
+	}
+	inter := tr.InterArrivals()
+	fmt.Printf("events: %d total, %d fail-stop, %d silent\n",
+		len(tr.Events), tr.Count(failures.FailStop), tr.Count(failures.Silent))
+	if len(inter) == 0 {
+		return nil
+	}
+	var acc stats.Welford
+	for _, x := range inter {
+		acc.Add(x)
+	}
+	fmt.Printf("inter-arrival: mean %.6g s (observed rate %.6g /s), min %.3g, max %.3g\n",
+		acc.Mean(), 1/acc.Mean(), acc.Min(), acc.Max())
+	if *rate > 0 {
+		res, err := stats.KSTestExponential(inter, *rate)
+		if err != nil {
+			return err
+		}
+		verdict := "consistent with"
+		if res.Reject(0.01) {
+			verdict = "REJECTED against"
+		}
+		fmt.Printf("KS test: D=%.4g, p=%.4g — %s Exp(%g)\n",
+			res.Statistic, res.PValue, verdict, *rate)
+	}
+	return nil
+}
+
+func runReplay(args []string) error {
+	fs := flag.NewFlagSet("amdahl-trace replay", flag.ContinueOnError)
+	in := fs.String("in", "", "input CSV path (required)")
+	platName := fs.String("platform", "hera", "platform (resilience costs)")
+	scenario := fs.Int("scenario", 1, "resilience scenario 1-6")
+	alpha := fs.Float64("alpha", 0.1, "sequential fraction α")
+	downtime := fs.Float64("downtime", 3600, "downtime D (s)")
+	period := fs.Float64("T", 0, "checkpointing period; 0 uses the Theorem 1 optimum")
+	procs := fs.Float64("P", 0, "processor count; 0 uses the platform's deployed count")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" {
+		return fmt.Errorf("need -in")
+	}
+	pl, err := platform.Lookup(*platName)
+	if err != nil {
+		return err
+	}
+	sc := costmodel.Scenario(*scenario)
+	if !sc.Valid() {
+		return fmt.Errorf("scenario %d outside 1-6", *scenario)
+	}
+	m, err := experiments.BuildModel(pl, sc, *alpha, *downtime)
+	if err != nil {
+		return err
+	}
+	p := *procs
+	if p == 0 {
+		p = pl.Processors
+	}
+	t := *period
+	if t == 0 {
+		t = m.OptimalPeriodFixedP(p)
+	}
+	f, err := os.Open(*in)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	tr, err := failures.ReadCSV(f)
+	if err != nil {
+		return err
+	}
+	res, err := sim.SimulateReplay(m, t, p, tr)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("replayed %d patterns (T=%.4g s, P=%.4g) against %d trace events\n",
+		res.Patterns, t, p, len(tr.Events))
+	fmt.Printf("mean pattern time : %.6g s (exact formula %.6g s)\n",
+		res.MeanPatternTime(), m.ExactPatternTime(t, p))
+	fmt.Printf("execution overhead: %.6g (exact formula %.6g)\n",
+		res.Overhead(t, m.Profile.Overhead(p)), m.Overhead(t, p))
+	fmt.Printf("events applied    : %d fail-stop, %d silent detections, %d recoveries\n",
+		res.FailStops, res.SilentDetections, res.Recoveries)
+	return nil
+}

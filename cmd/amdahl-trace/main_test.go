@@ -1,0 +1,103 @@
+package main
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func capture(t *testing.T, fn func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	errRun := fn()
+	w.Close()
+	os.Stdout = old
+	out, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(out), errRun
+}
+
+// genTestTrace writes a small trace file and returns its path.
+func genTestTrace(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "trace.csv")
+	err := runGen([]string{"-platform", "hera", "-procs", "256",
+		"-horizon", "5e6", "-seed", "3", "-out", path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestGenStatReplayPipeline(t *testing.T) {
+	path := genTestTrace(t)
+
+	out, err := capture(t, func() error {
+		return runStat([]string{"-in", path, "-rate", "4.3264e-6"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, frag := range []string{"events:", "inter-arrival", "KS test", "consistent with"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("stat output missing %q:\n%s", frag, out)
+		}
+	}
+
+	out, err = capture(t, func() error {
+		return runReplay([]string{"-in", path, "-platform", "hera",
+			"-scenario", "1", "-P", "256"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, frag := range []string{"replayed", "mean pattern time", "execution overhead"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("replay output missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestStatRejectsWrongRate(t *testing.T) {
+	path := genTestTrace(t)
+	out, err := capture(t, func() error {
+		// 5× the true platform rate: KS must reject.
+		return runStat([]string{"-in", path, "-rate", "2.2e-5"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "REJECTED") {
+		t.Errorf("KS should reject a 5× wrong rate:\n%s", out)
+	}
+}
+
+func TestSubcommandErrors(t *testing.T) {
+	if err := runGen([]string{"-platform", "unknown"}); err == nil {
+		t.Error("unknown platform accepted")
+	}
+	if err := runGen([]string{"-horizon", "-5"}); err == nil {
+		t.Error("negative horizon accepted")
+	}
+	if err := runStat([]string{}); err == nil {
+		t.Error("missing -in accepted")
+	}
+	if err := runStat([]string{"-in", "/nonexistent/file.csv"}); err == nil {
+		t.Error("missing file accepted")
+	}
+	if err := runReplay([]string{}); err == nil {
+		t.Error("missing -in accepted")
+	}
+	if err := runReplay([]string{"-in", "/nonexistent.csv", "-scenario", "7"}); err == nil {
+		t.Error("bad scenario accepted")
+	}
+}

@@ -1,0 +1,31 @@
+// Package amdahlyd reproduces "When Amdahl Meets Young/Daly" (Cavelan,
+// Li, Robert, Sun — IEEE Cluster 2016): the optimal processor allocation
+// and checkpointing period for a parallel job whose speedup obeys
+// Amdahl's law, on a platform subject to both fail-stop and silent
+// errors, protected by verified checkpoints (the VC protocol).
+//
+// The library lives under internal/:
+//
+//   - internal/core — exact expected pattern time (Proposition 1),
+//     Theorems 1–3, case analysis and validity bounds;
+//   - internal/optimize — the numerical (T, P) optimizer;
+//   - internal/sim — pattern-level and machine-level Monte-Carlo
+//     simulators of the VC protocol;
+//   - internal/experiments — drivers regenerating Figs. 2–7;
+//   - internal/baselines — Young, Daly, fail-stop-only and
+//     iterative-relaxation comparators;
+//   - internal/multilevel — a two-level pattern extension (future work
+//     in the paper's Section V);
+//   - substrates: speedup, costmodel, platform, failures, rng, stats,
+//     xmath, report.
+//
+// Executables: cmd/amdahl-opt (optimal patterns), cmd/amdahl-sim
+// (Monte-Carlo pricing of one pattern), cmd/amdahl-exp (regenerate the
+// paper's figures plus the profile and baseline extension studies), and
+// cmd/amdahl-trace (generate, verify and replay failure traces).
+// Runnable examples live in examples/.
+//
+// The benchmarks in this package regenerate each of the paper's figures
+// (BenchmarkFig2 … BenchmarkFig7) at a reduced Monte-Carlo budget and
+// measure the hot paths (exact formula, optimizers, simulators).
+package amdahlyd

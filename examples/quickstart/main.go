@@ -1,0 +1,53 @@
+// Quickstart: find the optimal number of processors and checkpointing
+// period for a parallel job on a failure-prone platform, then check the
+// prediction by simulation.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"amdahlyd/internal/costmodel"
+	"amdahlyd/internal/experiments"
+	"amdahlyd/internal/optimize"
+	"amdahlyd/internal/platform"
+	"amdahlyd/internal/sim"
+)
+
+func main() {
+	// An application that is 10% sequential (Amdahl's law), running on
+	// the Hera platform with coordinated checkpointing to stable storage
+	// (scenario 1: checkpoint cost grows linearly with P).
+	pl := platform.Hera()
+	m, err := experiments.BuildModel(pl, costmodel.Scenario1, 0.1, 3600)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// First-order optimum (Theorem 2): closed forms in λ_ind.
+	fo, err := m.FirstOrder()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("first-order: enroll P*=%.0f processors, checkpoint every T*=%.0f s\n", fo.P, fo.T)
+	fmt.Printf("             predicted execution overhead %.4f (error-free floor is α=0.1)\n", fo.Overhead)
+
+	// Numerical optimum of the exact expected-time formula.
+	num, err := optimize.OptimalPattern(m, optimize.PatternOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("numerical:   P*=%.0f, T*=%.0f s, overhead %.4f\n", num.P, num.T, num.Overhead)
+
+	// Validate by Monte-Carlo simulation of the VC protocol.
+	res, err := sim.Simulate(m, fo.T, fo.P, sim.RunConfig{Runs: 200, Patterns: 200, Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("simulation:  overhead %.4f ± %.4f (CI95) over %d runs\n",
+		res.Overhead.Mean, res.Overhead.CI95, res.Config.Runs)
+	fmt.Printf("             %d fail-stop errors, %d silent detections survived\n",
+		res.FailStops, res.SilentDetections)
+}

@@ -1,0 +1,66 @@
+package core_test
+
+import (
+	"fmt"
+
+	"amdahlyd/internal/core"
+	"amdahlyd/internal/costmodel"
+	"amdahlyd/internal/speedup"
+)
+
+// The headline computation of the paper: closed-form optimal processor
+// count and checkpointing period on Hera (Table II) under scenario 1.
+func ExampleFirstOrderLinearCost() {
+	sol, err := core.FirstOrderLinearCost(
+		0.1,       // sequential fraction α
+		300.0/512, // c: checkpoint seconds per processor
+		0.2188,    // f: fail-stop fraction
+		0.7812,    // s: silent fraction
+		1.69e-8,   // λ_ind
+	)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("P* = %.0f processors\n", sol.P)
+	fmt.Printf("T* = %.0f s\n", sol.T)
+	fmt.Printf("H* = %.3f\n", sol.Overhead)
+	// Output:
+	// P* = 219 processors
+	// T* = 6239 s
+	// H* = 0.108
+}
+
+// Theorem 1: the Young/Daly period generalized to verified checkpoints
+// under two error sources, for a fixed processor count.
+func ExampleModel_OptimalPeriodFixedP() {
+	res, _ := costmodel.Scenario3.Calibrate(512, 300, 15.4, 3600)
+	m := core.Model{
+		LambdaInd:    1.69e-8,
+		FailStopFrac: 0.2188,
+		SilentFrac:   0.7812,
+		Res:          res,
+		Profile:      speedup.Amdahl{Alpha: 0.1},
+	}
+	fmt.Printf("T*_512 = %.0f s\n", m.OptimalPeriodFixedP(512))
+	fmt.Printf("H(T*_512, 512) = %.4f\n", m.OverheadAtOptimalPeriod(512))
+	// Output:
+	// T*_512 = 6398 s
+	// H(T*_512, 512) = 0.1118
+}
+
+// Proposition 1: the exact expected execution time of one pattern.
+func ExampleModel_ExactPatternTime() {
+	res, _ := costmodel.Scenario1.Calibrate(512, 300, 15.4, 3600)
+	m := core.Model{
+		LambdaInd:    1.69e-8,
+		FailStopFrac: 0.2188,
+		SilentFrac:   0.7812,
+		Res:          res,
+		Profile:      speedup.Amdahl{Alpha: 0.1},
+	}
+	e := m.ExactPatternTime(6240, 512)
+	fmt.Printf("E(PATTERN) = %.1f s for T+V+C = %.1f s of useful content\n",
+		e, 6240+15.4+300)
+	// Output:
+	// E(PATTERN) = 6931.3 s for T+V+C = 6555.4 s of useful content
+}

@@ -1,0 +1,143 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"amdahlyd/internal/costmodel"
+	"amdahlyd/internal/speedup"
+)
+
+// randomModel derives a plausible random model from fuzz inputs: λ_ind in
+// [1e-11, 1e-6], f in (0,1), any Table III scenario, α in (0, 0.5].
+func randomModel(t *testing.T, lamRaw, fRaw, scRaw, aRaw uint16) Model {
+	t.Helper()
+	lambda := 1e-11 * math.Pow(10, float64(lamRaw%500)/100) // 1e-11 … 1e-6
+	f := 0.01 + 0.98*float64(fRaw%1000)/1000
+	sc := costmodel.AllScenarios[int(scRaw)%len(costmodel.AllScenarios)]
+	alpha := 0.001 + 0.499*float64(aRaw%1000)/1000
+	res, err := sc.Calibrate(512, 300, 15.4, 3600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Model{
+		LambdaInd:    lambda,
+		FailStopFrac: f,
+		SilentFrac:   1 - f,
+		Res:          res,
+		Profile:      speedup.Amdahl{Alpha: alpha},
+	}
+}
+
+// Property: the exact expected time always dominates the error-free time
+// T + V + C, for any random model and pattern.
+func TestExactDominatesErrorFreeProperty(t *testing.T) {
+	fn := func(lamRaw, fRaw, scRaw, aRaw, tRaw, pRaw uint16) bool {
+		m := randomModel(t, lamRaw, fRaw, scRaw, aRaw)
+		tt := 10 + float64(tRaw%50000)
+		p := 1 + float64(pRaw%4096)
+		free := tt + m.Res.Verification.At(p) + m.Res.Checkpoint.At(p)
+		return m.ExactPatternTime(tt, p) >= free
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: within the first-order validity region (Section III-B),
+// Theorem 1's period beats wide perturbations — the exact overhead at
+// T*_P is no worse than at 3×T*_P or T*_P/3. Outside validity the paper
+// makes no such claim, so those draws are skipped.
+func TestTheorem1BeatsWidePerturbationsProperty(t *testing.T) {
+	fn := func(lamRaw, fRaw, scRaw, aRaw, pRaw uint16) bool {
+		m := randomModel(t, lamRaw, fRaw, scRaw, aRaw)
+		p := 16 + float64(pRaw%2048)
+		tStar := m.OptimalPeriodFixedP(p)
+		if math.IsInf(tStar, 0) {
+			return true
+		}
+		if v := m.CheckValidity(tStar, p); v.LambdaT > 0.3 || v.LambdaCV > 0.3 {
+			return true // outside the approximation's advertised domain
+		}
+		h := m.Overhead(tStar, p)
+		return h <= m.Overhead(3*tStar, p)+1e-12 && h <= m.Overhead(tStar/3, p)+1e-12
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: at equal total rates and with all resilience costs removed,
+// silent errors are strictly more expensive than fail-stop errors — a
+// fail-stop interrupts immediately (losing T/2 on average), a silent
+// error is caught only at the end of the period (losing all of T).
+func TestSilentCostsMoreThanFailStopProperty(t *testing.T) {
+	fn := func(lamRaw, tRaw uint16) bool {
+		lambda := 1e-9 * math.Pow(10, float64(lamRaw%300)/100)
+		tt := 100 + 2*float64(tRaw%50000)
+		base := Model{
+			LambdaInd: lambda,
+			Res:       costmodel.New(costmodel.Checkpoint{}, costmodel.Verification{}, 0),
+			Profile:   speedup.Amdahl{Alpha: 0.1},
+		}
+		failOnly := base
+		failOnly.FailStopFrac, failOnly.SilentFrac = 1, 0
+		silentOnly := base
+		silentOnly.FailStopFrac, silentOnly.SilentFrac = 0, 1
+		return silentOnly.ExactPatternTime(tt, 512) >= failOnly.ExactPatternTime(tt, 512)
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the first-order solutions scale correctly under the paper's
+// invariances — scaling both c (or d) and λ so their product is constant
+// leaves H* unchanged in Theorem 2/3.
+func TestTheoremScaleInvarianceProperty(t *testing.T) {
+	fn := func(kRaw uint16) bool {
+		k := 1 + float64(kRaw%100)
+		a2, err := FirstOrderLinearCost(0.1, 0.5, 0.2, 0.8, 1e-8)
+		if err != nil {
+			return false
+		}
+		b2, err := FirstOrderLinearCost(0.1, 0.5*k, 0.2, 0.8, 1e-8/k)
+		if err != nil {
+			return false
+		}
+		a3, err := FirstOrderConstantCost(0.1, 300, 0.2, 0.8, 1e-8)
+		if err != nil {
+			return false
+		}
+		b3, err := FirstOrderConstantCost(0.1, 300*k, 0.2, 0.8, 1e-8/k)
+		if err != nil {
+			return false
+		}
+		return math.Abs(a2.Overhead-b2.Overhead) < 1e-12 &&
+			math.Abs(a3.Overhead-b3.Overhead) < 1e-12
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: overhead decreases when any single resilience cost decreases.
+func TestOverheadMonotoneInCostsProperty(t *testing.T) {
+	fn := func(lamRaw, fRaw, aRaw, tRaw uint16) bool {
+		m := randomModel(t, lamRaw, fRaw, 2 /* scenario 3: constant costs */, aRaw)
+		tt := 100 + float64(tRaw%20000)
+		h0 := m.Overhead(tt, 512)
+		cheaper := m
+		cheaper.Res.Checkpoint.A = m.Res.Checkpoint.A / 2
+		if cheaper.Overhead(tt, 512) > h0 {
+			return false
+		}
+		shorterD := m
+		shorterD.Res.Downtime = m.Res.Downtime / 2
+		return shorterD.Overhead(tt, 512) <= h0
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

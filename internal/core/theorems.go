@@ -1,0 +1,201 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"amdahlyd/internal/costmodel"
+	"amdahlyd/internal/speedup"
+)
+
+// ErrNoFirstOrder is returned when the first-order analysis has no bounded
+// optimum: the decreasing cost class C_P+V_P = h/P (Section III-D.3) and
+// the perfectly parallel profile α = 0 (Section III-D.4). The numerical
+// solver in internal/optimize still applies in those regimes.
+var ErrNoFirstOrder = errors.New(
+	"core: no bounded first-order optimum for this cost class / speedup profile")
+
+// Solution is an optimal (or candidate) pattern configuration together
+// with its predicted overhead.
+type Solution struct {
+	// T is the checkpointing period in seconds.
+	T float64
+	// P is the (possibly fractional) processor allocation.
+	P float64
+	// Overhead is the predicted expected execution overhead H(T, P).
+	Overhead float64
+	// Method records how the solution was obtained ("first-order",
+	// "numerical", …).
+	Method string
+	// Class is the analytical case that produced a first-order solution.
+	Class costmodel.Class
+}
+
+// String implements fmt.Stringer.
+func (s Solution) String() string {
+	return fmt.Sprintf("%s: P*=%.6g, T*=%.6g s, H=%.6g", s.Method, s.P, s.T, s.Overhead)
+}
+
+// OptimalPeriodFixedP returns Theorem 1's first-order optimal
+// checkpointing period for a fixed processor count,
+//
+//	T*_P = sqrt( (V_P + C_P) / (λf_P/2 + λs_P) ),
+//
+// the Young/Daly extension to two error sources and verified checkpoints.
+func (m Model) OptimalPeriodFixedP(p float64) float64 {
+	cv := m.Res.CombinedVC(p)
+	rate := m.EffectiveRate(p)
+	if rate <= 0 {
+		return math.Inf(1) // no errors: checkpoint never
+	}
+	return math.Sqrt(cv / rate)
+}
+
+// OverheadAtOptimalPeriod returns Theorem 1's expected execution overhead
+// at T*_P (lower-order terms dropped):
+//
+//	H(T*_P, P) = H(P) · (1 + 2·sqrt((λf_P/2 + λs_P)·(V_P + C_P))).
+func (m Model) OverheadAtOptimalPeriod(p float64) float64 {
+	cv := m.Res.CombinedVC(p)
+	rate := m.EffectiveRate(p)
+	return m.Profile.Overhead(p) * (1 + 2*math.Sqrt(rate*cv))
+}
+
+// FirstOrderLinearCost implements Theorem 2 (case 1: C_P = cP + o(P),
+// constant sequential fraction α > 0):
+//
+//	P* = ( 1 / (c·(f/2+s)·λ_ind) )^{1/4} · ( (1−α)/(2α) )^{1/2}
+//	T* = ( c / ((f/2+s)·λ_ind) )^{1/2}
+//	H* = α + 2·( 4α²(1−α)²·c·(f/2+s)·λ_ind )^{1/4}
+//
+// The caller provides α and the linear coefficient c.
+func FirstOrderLinearCost(alpha, c, f, s, lambdaInd float64) (Solution, error) {
+	if alpha <= 0 || alpha >= 1 {
+		return Solution{}, fmt.Errorf("core: Theorem 2 needs 0 < α < 1, got %g: %w",
+			alpha, ErrNoFirstOrder)
+	}
+	if c <= 0 || lambdaInd <= 0 {
+		return Solution{}, fmt.Errorf("core: Theorem 2 needs c > 0 and λ_ind > 0")
+	}
+	fs := f/2 + s
+	pStar := math.Pow(1/(c*fs*lambdaInd), 0.25) * math.Sqrt((1-alpha)/(2*alpha))
+	tStar := math.Sqrt(c / (fs * lambdaInd))
+	h := alpha + 2*math.Pow(4*alpha*alpha*(1-alpha)*(1-alpha)*c*fs*lambdaInd, 0.25)
+	return Solution{
+		T: tStar, P: pStar, Overhead: h,
+		Method: "first-order", Class: costmodel.ClassLinear,
+	}, nil
+}
+
+// FirstOrderConstantCost implements Theorem 3 (case 2: C_P+V_P = d + o(1),
+// constant sequential fraction α > 0):
+//
+//	P* = ( 1 / (d·(f/2+s)·λ_ind) )^{1/3} · ( (1−α)/α )^{2/3}
+//	T* = ( d² / ((f/2+s)·λ_ind) )^{1/3} · ( α/(1−α) )^{1/3}
+//	H* = α + 3·( α²(1−α)·d·(f/2+s)·λ_ind )^{1/3}
+func FirstOrderConstantCost(alpha, d, f, s, lambdaInd float64) (Solution, error) {
+	if alpha <= 0 || alpha >= 1 {
+		return Solution{}, fmt.Errorf("core: Theorem 3 needs 0 < α < 1, got %g: %w",
+			alpha, ErrNoFirstOrder)
+	}
+	if d <= 0 || lambdaInd <= 0 {
+		return Solution{}, fmt.Errorf("core: Theorem 3 needs d > 0 and λ_ind > 0")
+	}
+	fs := f/2 + s
+	pStar := math.Cbrt(1/(d*fs*lambdaInd)) * math.Pow((1-alpha)/alpha, 2.0/3)
+	tStar := math.Cbrt(d*d/(fs*lambdaInd)) * math.Cbrt(alpha/(1-alpha))
+	h := alpha + 3*math.Cbrt(alpha*alpha*(1-alpha)*d*fs*lambdaInd)
+	return Solution{
+		T: tStar, P: pStar, Overhead: h,
+		Method: "first-order", Class: costmodel.ClassConstant,
+	}, nil
+}
+
+// DecreasingCostOverhead returns the overhead expression of Section
+// III-D.3 (case 3: C_P+V_P = h/P, constant α): at the Theorem 1 period,
+//
+//	H(T*_P, P) = (α + (1−α)/P) · (1 + 2·sqrt(h·(f/2+s)·λ_ind)),
+//
+// which decreases monotonically in P within the validity bound, so there
+// is no bounded first-order optimum; the function exposes the expression
+// for the numerical comparisons.
+func DecreasingCostOverhead(alpha, h, f, s, lambdaInd, p float64) float64 {
+	fs := f/2 + s
+	return (alpha + (1-alpha)/p) * (1 + 2*math.Sqrt(h*fs*lambdaInd))
+}
+
+// PerfectlyParallelOverhead returns the case-4 (H(P) = 1/P) overhead at
+// the Theorem 1 period for each cost sub-case of Section III-D.4:
+//
+//	c ≠ 0:          1/P + 2·sqrt(c·(f/2+s)·λ_ind)
+//	c = 0, d ≠ 0:   1/P + 2·sqrt(d·(f/2+s)·λ_ind / P)
+//	c = d = 0:      (1/P)·(1 + 2·sqrt(h·(f/2+s)·λ_ind))
+//
+// The sub-case is chosen from the resilience model's classification.
+func PerfectlyParallelOverhead(res costmodel.Resilience, f, s, lambdaInd, p float64) float64 {
+	fs := f/2 + s
+	cl := res.Classify()
+	switch cl.Class {
+	case costmodel.ClassLinear:
+		return 1/p + 2*math.Sqrt(cl.Coeff*fs*lambdaInd)
+	case costmodel.ClassConstant:
+		return 1/p + 2*math.Sqrt(cl.Coeff*fs*lambdaInd/p)
+	default:
+		return (1 / p) * (1 + 2*math.Sqrt(cl.Coeff*fs*lambdaInd))
+	}
+}
+
+// FirstOrder dispatches on the model's cost class and returns the
+// first-order optimal pattern of Theorem 2 or Theorem 3. It requires an
+// Amdahl profile with 0 < α < 1; every other combination is the province
+// of the numerical solver and yields ErrNoFirstOrder.
+func (m Model) FirstOrder() (Solution, error) {
+	am, ok := m.Profile.(speedup.Amdahl)
+	if !ok {
+		return Solution{}, fmt.Errorf("core: first-order analysis needs an Amdahl profile, have %s: %w",
+			m.Profile.Name(), ErrNoFirstOrder)
+	}
+	cl := m.Res.Classify()
+	switch cl.Class {
+	case costmodel.ClassLinear:
+		return FirstOrderLinearCost(am.Alpha, cl.Coeff, m.FailStopFrac, m.SilentFrac, m.LambdaInd)
+	case costmodel.ClassConstant:
+		return FirstOrderConstantCost(am.Alpha, cl.Coeff, m.FailStopFrac, m.SilentFrac, m.LambdaInd)
+	default:
+		return Solution{}, fmt.Errorf("core: %v: %w", cl.Class, ErrNoFirstOrder)
+	}
+}
+
+// Validity reports how well the first-order assumptions of Section III-B
+// hold for a concrete pattern: both indicators must be well below 1.
+type Validity struct {
+	// LambdaCV is λ_P·(C_P + V_P), the resilience-cost exponent ε term.
+	LambdaCV float64
+	// LambdaT is λ_P·T, the pattern-length exponent.
+	LambdaT float64
+	// OK reports both indicators below the conventional 0.1 threshold.
+	OK bool
+}
+
+// CheckValidity evaluates the Section III-B indicators at (T, P).
+func (m Model) CheckValidity(t, p float64) Validity {
+	lf, ls := m.Rates(p)
+	lam := lf + ls
+	v := Validity{
+		LambdaCV: lam * m.Res.CombinedVC(p),
+		LambdaT:  lam * t,
+	}
+	v.OK = v.LambdaCV < 0.1 && v.LambdaT < 0.1
+	return v
+}
+
+// MaxOrderDelta returns δ from Inequality (5): the highest order x such
+// that P = Θ(λ_ind^−x) keeps the approximation valid — 1/2 when the
+// checkpoint cost grows linearly (c ≠ 0), 1 otherwise.
+func MaxOrderDelta(res costmodel.Resilience) float64 {
+	if res.Checkpoint.C != 0 {
+		return 0.5
+	}
+	return 1
+}

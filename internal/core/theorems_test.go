@@ -1,0 +1,306 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+
+	"amdahlyd/internal/costmodel"
+	"amdahlyd/internal/speedup"
+	"amdahlyd/internal/xmath"
+)
+
+func TestOptimalPeriodFixedPFormula(t *testing.T) {
+	m := heraModel(t, costmodel.Scenario1, 0.1)
+	p := 512.0
+	cv := m.Res.CombinedVC(p)
+	lf, ls := m.Rates(p)
+	want := math.Sqrt(cv / (lf/2 + ls))
+	if got := m.OptimalPeriodFixedP(p); !xmath.EqualWithin(got, want, 1e-12, 0) {
+		t.Errorf("T*_P = %g, want %g", got, want)
+	}
+}
+
+func TestOptimalPeriodIsStationaryPoint(t *testing.T) {
+	// T*_P must minimize the first-order overhead g(T) = (V+C)/T + rate·T.
+	// Check by sampling around the optimum with the EXACT overhead, which
+	// the first-order solution approximates: H(T*±20%) > H(T*).
+	for _, sc := range costmodel.AllScenarios {
+		m := heraModel(t, sc, 0.1)
+		for _, p := range []float64{128, 512, 1448} {
+			tStar := m.OptimalPeriodFixedP(p)
+			h0 := m.Overhead(tStar, p)
+			if m.Overhead(tStar*1.2, p) <= h0-1e-9 {
+				t.Errorf("%v P=%g: overhead decreases right of T*", sc, p)
+			}
+			if m.Overhead(tStar*0.8, p) <= h0-1e-9 {
+				t.Errorf("%v P=%g: overhead decreases left of T*", sc, p)
+			}
+		}
+	}
+}
+
+func TestOptimalPeriodNoErrors(t *testing.T) {
+	m := heraModel(t, costmodel.Scenario1, 0.1)
+	m.LambdaInd = 0
+	if !math.IsInf(m.OptimalPeriodFixedP(512), 1) {
+		t.Error("with no errors the optimal period must be infinite")
+	}
+}
+
+func TestOverheadAtOptimalPeriodFormula(t *testing.T) {
+	m := heraModel(t, costmodel.Scenario3, 0.1)
+	p := 512.0
+	cv := m.Res.CombinedVC(p)
+	rate := m.EffectiveRate(p)
+	want := m.Profile.Overhead(p) * (1 + 2*math.Sqrt(rate*cv))
+	got := m.OverheadAtOptimalPeriod(p)
+	if !xmath.EqualWithin(got, want, 1e-12, 0) {
+		t.Errorf("H(T*_P, P) = %g, want %g", got, want)
+	}
+	// The Theorem 1 prediction must track the exact overhead at T*_P.
+	// At Hera's real λ_ind the first-order gap is ≈1% (the paper itself
+	// reports percent-level agreement in Fig. 2).
+	exact := m.Overhead(m.OptimalPeriodFixedP(p), p)
+	if xmath.RelDiff(got, exact) > 2e-2 {
+		t.Errorf("Theorem 1 prediction %g vs exact %g", got, exact)
+	}
+}
+
+// Values computed independently (by hand) from Theorem 2 with Hera
+// parameters: c = 300/512, f = 0.2188, s = 0.7812, λ = 1.69e-8, α = 0.1.
+func TestTheorem2HeraNumbers(t *testing.T) {
+	sol, err := FirstOrderLinearCost(0.1, 300.0/512, 0.2188, 0.7812, 1.69e-8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sol.P-219) > 3 {
+		t.Errorf("P* = %g, hand computation gives ≈219", sol.P)
+	}
+	if math.Abs(sol.T-6240) > 60 {
+		t.Errorf("T* = %g, hand computation gives ≈6240 s", sol.T)
+	}
+	// Paper (Fig. 2): overhead ≈ 0.11 at α = 0.1.
+	if sol.Overhead < 0.105 || sol.Overhead > 0.115 {
+		t.Errorf("H* = %g, paper reports ≈0.11", sol.Overhead)
+	}
+	if sol.Class != costmodel.ClassLinear || sol.Method != "first-order" {
+		t.Errorf("solution metadata wrong: %+v", sol)
+	}
+}
+
+// Same for Theorem 3 with d = C_P + V_P = 315.4 (scenario 3 on Hera).
+func TestTheorem3HeraNumbers(t *testing.T) {
+	sol, err := FirstOrderConstantCost(0.1, 315.4, 0.2188, 0.7812, 1.69e-8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sol.P-258) > 4 {
+		t.Errorf("P* = %g, hand computation gives ≈258", sol.P)
+	}
+	if math.Abs(sol.T-9020) > 90 {
+		t.Errorf("T* = %g, hand computation gives ≈9020 s", sol.T)
+	}
+	if sol.Overhead < 0.105 || sol.Overhead > 0.115 {
+		t.Errorf("H* = %g, paper reports ≈0.11", sol.Overhead)
+	}
+}
+
+// The striking asymptotic orders: P* = Θ(λ^-1/4) under Theorem 2 and
+// Θ(λ^-1/3) under Theorem 3; T* = Θ(λ^-1/2) and Θ(λ^-1/3).
+func TestAsymptoticOrders(t *testing.T) {
+	const ratio = 16.0
+	s2a, _ := FirstOrderLinearCost(0.1, 0.5, 0.2, 0.8, 1e-8)
+	s2b, _ := FirstOrderLinearCost(0.1, 0.5, 0.2, 0.8, 1e-8/ratio)
+	if !xmath.EqualWithin(s2b.P/s2a.P, math.Pow(ratio, 0.25), 1e-9, 0) {
+		t.Errorf("Theorem 2 P* order: grew %g×, want %g×", s2b.P/s2a.P, math.Pow(ratio, 0.25))
+	}
+	if !xmath.EqualWithin(s2b.T/s2a.T, math.Sqrt(ratio), 1e-9, 0) {
+		t.Errorf("Theorem 2 T* order: grew %g×, want %g×", s2b.T/s2a.T, math.Sqrt(ratio))
+	}
+	s3a, _ := FirstOrderConstantCost(0.1, 315, 0.2, 0.8, 1e-8)
+	s3b, _ := FirstOrderConstantCost(0.1, 315, 0.2, 0.8, 1e-8/ratio)
+	if !xmath.EqualWithin(s3b.P/s3a.P, math.Cbrt(ratio), 1e-9, 0) {
+		t.Errorf("Theorem 3 P* order: grew %g×, want %g×", s3b.P/s3a.P, math.Cbrt(ratio))
+	}
+	if !xmath.EqualWithin(s3b.T/s3a.T, math.Cbrt(ratio), 1e-9, 0) {
+		t.Errorf("Theorem 3 T* order: grew %g×, want %g×", s3b.T/s3a.T, math.Cbrt(ratio))
+	}
+}
+
+// Consistency: plugging Theorem 2/3's P* into Theorem 1's period formula
+// (with the class's idealized cost) must return Theorem 2/3's T*.
+func TestTheoremsConsistentWithTheorem1(t *testing.T) {
+	alpha, f, s, lam := 0.1, 0.2188, 0.7812, 1.69e-8
+	fs := f/2 + s
+
+	c := 300.0 / 512
+	s2, _ := FirstOrderLinearCost(alpha, c, f, s, lam)
+	// Idealized case 1: V+C = cP, rate = fs·λ·P ⇒ T* = sqrt(c/(fs·λ)).
+	wantT := math.Sqrt(c * s2.P / (fs * lam * s2.P))
+	if !xmath.EqualWithin(s2.T, wantT, 1e-9, 0) {
+		t.Errorf("Theorem 2 T* = %g, Theorem 1 with P* gives %g", s2.T, wantT)
+	}
+
+	d := 315.4
+	s3, _ := FirstOrderConstantCost(alpha, d, f, s, lam)
+	wantT3 := math.Sqrt(d / (fs * lam * s3.P))
+	if !xmath.EqualWithin(s3.T, wantT3, 1e-9, 0) {
+		t.Errorf("Theorem 3 T* = %g, Theorem 1 with P* gives %g", s3.T, wantT3)
+	}
+}
+
+// P* from Theorem 2/3 must (approximately) minimize the Theorem 1
+// overhead curve H(T*_P, P) over P when λ is small.
+func TestPStarMinimizesTheorem1Curve(t *testing.T) {
+	for _, sc := range []costmodel.Scenario{costmodel.Scenario1, costmodel.Scenario3} {
+		m := heraModel(t, sc, 0.1)
+		m.LambdaInd = 1e-12 // deep in the first-order validity region
+		sol, err := m.FirstOrder()
+		if err != nil {
+			t.Fatalf("%v: %v", sc, err)
+		}
+		h0 := m.OverheadAtOptimalPeriod(sol.P)
+		for _, factor := range []float64{0.5, 0.8, 1.25, 2} {
+			if h := m.OverheadAtOptimalPeriod(sol.P * factor); h < h0-1e-12 {
+				t.Errorf("%v: H at %g×P* (%g) below H at P* (%g)", sc, factor, h, h0)
+			}
+		}
+	}
+}
+
+func TestTheorem2InputValidation(t *testing.T) {
+	if _, err := FirstOrderLinearCost(0, 0.5, 0.2, 0.8, 1e-8); !errors.Is(err, ErrNoFirstOrder) {
+		t.Error("α = 0 must yield ErrNoFirstOrder")
+	}
+	if _, err := FirstOrderLinearCost(1, 0.5, 0.2, 0.8, 1e-8); !errors.Is(err, ErrNoFirstOrder) {
+		t.Error("α = 1 must yield ErrNoFirstOrder")
+	}
+	if _, err := FirstOrderLinearCost(0.1, 0, 0.2, 0.8, 1e-8); err == nil {
+		t.Error("c = 0 accepted")
+	}
+	if _, err := FirstOrderLinearCost(0.1, 0.5, 0.2, 0.8, 0); err == nil {
+		t.Error("λ = 0 accepted")
+	}
+}
+
+func TestTheorem3InputValidation(t *testing.T) {
+	if _, err := FirstOrderConstantCost(0, 300, 0.2, 0.8, 1e-8); !errors.Is(err, ErrNoFirstOrder) {
+		t.Error("α = 0 must yield ErrNoFirstOrder")
+	}
+	if _, err := FirstOrderConstantCost(0.1, 0, 0.2, 0.8, 1e-8); err == nil {
+		t.Error("d = 0 accepted")
+	}
+}
+
+func TestFirstOrderDispatch(t *testing.T) {
+	// Scenarios 1–2 → Theorem 2; 3–5 → Theorem 3; 6 → no first-order.
+	for _, sc := range costmodel.AllScenarios {
+		m := heraModel(t, sc, 0.1)
+		sol, err := m.FirstOrder()
+		switch sc {
+		case costmodel.Scenario6:
+			if !errors.Is(err, ErrNoFirstOrder) {
+				t.Errorf("%v: want ErrNoFirstOrder, got %v", sc, err)
+			}
+		default:
+			if err != nil {
+				t.Errorf("%v: %v", sc, err)
+				continue
+			}
+			if sol.Class != sc.ExpectedClass() {
+				t.Errorf("%v: dispatched to %v, want %v", sc, sol.Class, sc.ExpectedClass())
+			}
+			if sol.P <= 0 || sol.T <= 0 || sol.Overhead <= 0.1 {
+				t.Errorf("%v: implausible solution %+v", sc, sol)
+			}
+		}
+	}
+}
+
+func TestFirstOrderRequiresAmdahl(t *testing.T) {
+	m := heraModel(t, costmodel.Scenario1, 0.1)
+	m.Profile = speedup.PerfectlyParallel{}
+	if _, err := m.FirstOrder(); !errors.Is(err, ErrNoFirstOrder) {
+		t.Error("non-Amdahl profile must yield ErrNoFirstOrder")
+	}
+}
+
+func TestDecreasingCostOverheadMonotone(t *testing.T) {
+	// Case 3 overhead decreases monotonically in P (Section III-D.3).
+	prev := math.Inf(1)
+	for _, p := range []float64{10, 100, 1000, 10000} {
+		h := DecreasingCostOverhead(0.1, 315.4*512, 0.2188, 0.7812, 1.69e-8, p)
+		if h >= prev {
+			t.Errorf("case-3 overhead not decreasing at P=%g", p)
+		}
+		prev = h
+	}
+	// Floor is α·(1 + 2sqrt(h·fs·λ)).
+	floor := 0.1 * (1 + 2*math.Sqrt(315.4*512*0.89*1.69e-8))
+	if h := DecreasingCostOverhead(0.1, 315.4*512, 0.2188, 0.7812, 1.69e-8, 1e12); math.Abs(h-floor) > 1e-3 {
+		t.Errorf("case-3 overhead floor = %g, want ≈%g", h, floor)
+	}
+}
+
+func TestPerfectlyParallelOverheadSubcases(t *testing.T) {
+	f, s, lam, p := 0.2, 0.8, 1e-8, 1000.0
+	fs := f/2 + s
+	// c ≠ 0.
+	resLin := costmodel.New(costmodel.Checkpoint{C: 0.5}, costmodel.Verification{}, 0)
+	want := 1/p + 2*math.Sqrt(0.5*fs*lam)
+	if got := PerfectlyParallelOverhead(resLin, f, s, lam, p); !xmath.EqualWithin(got, want, 1e-12, 0) {
+		t.Errorf("case-4 linear: %g, want %g", got, want)
+	}
+	// c = 0, d ≠ 0.
+	resConst := costmodel.New(costmodel.Checkpoint{A: 300}, costmodel.Verification{V: 15}, 0)
+	want = 1/p + 2*math.Sqrt(315*fs*lam/p)
+	if got := PerfectlyParallelOverhead(resConst, f, s, lam, p); !xmath.EqualWithin(got, want, 1e-12, 0) {
+		t.Errorf("case-4 constant: %g, want %g", got, want)
+	}
+	// c = d = 0.
+	resDec := costmodel.New(costmodel.Checkpoint{B: 1000}, costmodel.Verification{U: 500}, 0)
+	want = (1 / p) * (1 + 2*math.Sqrt(1500*fs*lam))
+	if got := PerfectlyParallelOverhead(resDec, f, s, lam, p); !xmath.EqualWithin(got, want, 1e-12, 0) {
+		t.Errorf("case-4 decreasing: %g, want %g", got, want)
+	}
+}
+
+func TestCheckValidity(t *testing.T) {
+	m := heraModel(t, costmodel.Scenario1, 0.1)
+	// At the paper's operating point the approximation is valid.
+	v := m.CheckValidity(6000, 512)
+	if !v.OK {
+		t.Errorf("validity should hold at Hera's operating point: %+v", v)
+	}
+	// At absurd scale it must fail.
+	v = m.CheckValidity(1e6, 1e7)
+	if v.OK {
+		t.Errorf("validity should fail at extreme scale: %+v", v)
+	}
+	if v.LambdaT <= 0 || v.LambdaCV <= 0 {
+		t.Errorf("validity indicators not populated: %+v", v)
+	}
+}
+
+func TestMaxOrderDelta(t *testing.T) {
+	lin := costmodel.New(costmodel.Checkpoint{C: 1}, costmodel.Verification{}, 0)
+	if MaxOrderDelta(lin) != 0.5 {
+		t.Error("δ should be 1/2 when c ≠ 0")
+	}
+	con := costmodel.New(costmodel.Checkpoint{A: 1}, costmodel.Verification{}, 0)
+	if MaxOrderDelta(con) != 1 {
+		t.Error("δ should be 1 when c = 0")
+	}
+}
+
+func TestSolutionString(t *testing.T) {
+	s := Solution{T: 6000, P: 219, Overhead: 0.108, Method: "first-order"}
+	str := s.String()
+	for _, frag := range []string{"first-order", "219", "6000", "0.108"} {
+		if !strings.Contains(str, frag) {
+			t.Errorf("Solution.String() = %q missing %q", str, frag)
+		}
+	}
+}

@@ -1,0 +1,145 @@
+// Package costmodel implements the resilience-cost substrate of Section II:
+// the general checkpoint cost C_P = a + b/P + cP, the verification cost
+// V_P = v + u/P, the recovery cost R_P (equal to C_P in the paper), the
+// downtime D, the six resilience scenarios of Table III, and the
+// classification into the analytical cases of Section III-D.
+package costmodel
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Checkpoint models the time a + b/P + cP to save (or recover) a global
+// application state with P processors:
+//
+//   - a is the P-independent I/O or start-up component (stable-storage
+//     bandwidth bottleneck: a = β + M/τ_io);
+//   - b/P is the per-processor share of writing the memory footprint over
+//     the network (in-memory checkpointing: b = M/τ_net);
+//   - cP is the coordination/message-passing overhead that grows with the
+//     processor count (coordinated checkpointing).
+type Checkpoint struct {
+	A float64 `json:"a"`
+	B float64 `json:"b"`
+	C float64 `json:"c"`
+}
+
+// At returns C_P for the given processor count.
+func (c Checkpoint) At(p float64) float64 {
+	if p < 1 {
+		p = 1
+	}
+	return c.A + c.B/p + c.C*p
+}
+
+// IsZero reports whether all components vanish.
+func (c Checkpoint) IsZero() bool { return c.A == 0 && c.B == 0 && c.C == 0 }
+
+// Verification models the in-memory error-detection cost V_P = v + u/P:
+// v is a start-up latency and u/P the per-processor share of inspecting
+// the application data.
+type Verification struct {
+	V float64 `json:"v"`
+	U float64 `json:"u"`
+}
+
+// At returns V_P for the given processor count.
+func (v Verification) At(p float64) float64 {
+	if p < 1 {
+		p = 1
+	}
+	return v.V + v.U/p
+}
+
+// Resilience bundles every resilience parameter of a platform + protocol
+// combination: checkpoint, recovery, verification and downtime.
+type Resilience struct {
+	Checkpoint   Checkpoint   `json:"checkpoint"`
+	Recovery     Checkpoint   `json:"recovery"` // R_P = C_P in the paper
+	Verification Verification `json:"verification"`
+	Downtime     float64      `json:"downtime"` // D, seconds
+}
+
+// New returns a Resilience with recovery equal to the checkpoint cost,
+// which is the paper's assumption (both involve the same I/O).
+func New(cp Checkpoint, vp Verification, downtime float64) Resilience {
+	return Resilience{Checkpoint: cp, Recovery: cp, Verification: vp, Downtime: downtime}
+}
+
+// Validate rejects negative components.
+func (r Resilience) Validate() error {
+	for _, v := range []float64{
+		r.Checkpoint.A, r.Checkpoint.B, r.Checkpoint.C,
+		r.Recovery.A, r.Recovery.B, r.Recovery.C,
+		r.Verification.V, r.Verification.U, r.Downtime,
+	} {
+		if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+			return errors.New("costmodel: negative or non-finite resilience parameter")
+		}
+	}
+	return nil
+}
+
+// CombinedVC returns C_P + V_P at the given processor count, the quantity
+// (verification followed by checkpoint) that the VC protocol amortizes.
+func (r Resilience) CombinedVC(p float64) float64 {
+	return r.Checkpoint.At(p) + r.Verification.At(p)
+}
+
+// Class identifies which analytical case of Section III-D applies to a
+// resilience model.
+type Class int
+
+const (
+	// ClassLinear is case 1: C_P = cP + o(P), c ≠ 0. Theorem 2 applies
+	// (P* = Θ(λ^-1/4), T* = Θ(λ^-1/2)).
+	ClassLinear Class = iota + 1
+	// ClassConstant is case 2: C_P + V_P = d + o(1), d ≠ 0. Theorem 3
+	// applies (P* = T* = Θ(λ^-1/3)).
+	ClassConstant
+	// ClassDecreasing is case 3: C_P + V_P = h/P. First-order analysis
+	// yields no bounded optimum; only the numerical solver applies.
+	ClassDecreasing
+)
+
+// String implements fmt.Stringer.
+func (c Class) String() string {
+	switch c {
+	case ClassLinear:
+		return "linear (C_P = cP)"
+	case ClassConstant:
+		return "constant (C_P + V_P = d)"
+	case ClassDecreasing:
+		return "decreasing (C_P + V_P = h/P)"
+	default:
+		return fmt.Sprintf("Class(%d)", int(c))
+	}
+}
+
+// Classification carries the case and its dominating coefficient.
+type Classification struct {
+	Class Class
+	// Coeff is c for ClassLinear, d = a_C + a_R-independent constant
+	// (checkpoint A + verification V) for ClassConstant, and
+	// h = B + U for ClassDecreasing.
+	Coeff float64
+}
+
+// Classify maps the resilience model onto the paper's case analysis,
+// looking only at the checkpoint+verification scaling (recovery mirrors
+// the checkpoint and does not enter the first-order formulas).
+func (r Resilience) Classify() Classification {
+	c := r.Checkpoint.C
+	d := r.Checkpoint.A + r.Verification.V
+	h := r.Checkpoint.B + r.Verification.U
+	switch {
+	case c != 0:
+		return Classification{Class: ClassLinear, Coeff: c}
+	case d != 0:
+		return Classification{Class: ClassConstant, Coeff: d}
+	default:
+		return Classification{Class: ClassDecreasing, Coeff: h}
+	}
+}

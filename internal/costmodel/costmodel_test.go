@@ -1,0 +1,241 @@
+package costmodel
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"amdahlyd/internal/xmath"
+)
+
+func TestCheckpointAt(t *testing.T) {
+	c := Checkpoint{A: 10, B: 100, C: 0.5}
+	// C_P = 10 + 100/4 + 0.5*4 = 37
+	if got := c.At(4); got != 37 {
+		t.Errorf("At(4) = %g, want 37", got)
+	}
+	// P < 1 clamps to 1.
+	if c.At(0.5) != c.At(1) {
+		t.Error("P < 1 not clamped")
+	}
+}
+
+func TestVerificationAt(t *testing.T) {
+	v := Verification{V: 3, U: 12}
+	if got := v.At(6); got != 5 {
+		t.Errorf("At(6) = %g, want 5", got)
+	}
+}
+
+func TestCombinedVC(t *testing.T) {
+	r := New(Checkpoint{A: 5}, Verification{V: 2}, 0)
+	if got := r.CombinedVC(100); got != 7 {
+		t.Errorf("CombinedVC = %g, want 7", got)
+	}
+}
+
+func TestNewSetsRecoveryEqualToCheckpoint(t *testing.T) {
+	cp := Checkpoint{A: 1, B: 2, C: 3}
+	r := New(cp, Verification{}, 60)
+	if r.Recovery != cp {
+		t.Error("recovery should equal checkpoint")
+	}
+	if r.Downtime != 60 {
+		t.Error("downtime not stored")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	good := New(Checkpoint{A: 1}, Verification{V: 1}, 10)
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid model rejected: %v", err)
+	}
+	bad := New(Checkpoint{A: -1}, Verification{}, 0)
+	if err := bad.Validate(); err == nil {
+		t.Error("negative component accepted")
+	}
+	nan := New(Checkpoint{}, Verification{V: math.NaN()}, 0)
+	if err := nan.Validate(); err == nil {
+		t.Error("NaN component accepted")
+	}
+}
+
+func TestClassify(t *testing.T) {
+	cases := []struct {
+		name string
+		r    Resilience
+		want Class
+	}{
+		{"pure linear", New(Checkpoint{C: 0.5}, Verification{V: 1}, 0), ClassLinear},
+		{"linear plus const", New(Checkpoint{A: 3, C: 0.5}, Verification{}, 0), ClassLinear},
+		{"constant", New(Checkpoint{A: 300}, Verification{V: 15}, 0), ClassConstant},
+		{"const via verif only", New(Checkpoint{B: 100}, Verification{V: 15}, 0), ClassConstant},
+		{"decreasing", New(Checkpoint{B: 100}, Verification{U: 50}, 0), ClassDecreasing},
+	}
+	for _, c := range cases {
+		got := c.r.Classify()
+		if got.Class != c.want {
+			t.Errorf("%s: class = %v, want %v", c.name, got.Class, c.want)
+		}
+	}
+}
+
+func TestClassifyCoefficients(t *testing.T) {
+	lin := New(Checkpoint{C: 0.6}, Verification{V: 1}, 0).Classify()
+	if lin.Coeff != 0.6 {
+		t.Errorf("linear coeff = %g, want 0.6", lin.Coeff)
+	}
+	con := New(Checkpoint{A: 300}, Verification{V: 15}, 0).Classify()
+	if con.Coeff != 315 {
+		t.Errorf("constant coeff = %g, want 315 (a+v)", con.Coeff)
+	}
+	dec := New(Checkpoint{B: 100}, Verification{U: 50}, 0).Classify()
+	if dec.Coeff != 150 {
+		t.Errorf("decreasing coeff = %g, want 150 (b+u)", dec.Coeff)
+	}
+}
+
+func TestClassString(t *testing.T) {
+	for _, c := range []Class{ClassLinear, ClassConstant, ClassDecreasing} {
+		if c.String() == "" || c.String()[0] == 'C' {
+			t.Errorf("missing String for %d", int(c))
+		}
+	}
+	if Class(42).String() != "Class(42)" {
+		t.Error("unknown class String wrong")
+	}
+}
+
+func TestScenarioCalibrationReproducesMeasurement(t *testing.T) {
+	// Hera-like numbers: P=512, C_P=300s, V_P=15.4s.
+	const p0, cp0, vp0, d = 512.0, 300.0, 15.4, 3600.0
+	for _, s := range AllScenarios {
+		r, err := s.Calibrate(p0, cp0, vp0, d)
+		if err != nil {
+			t.Fatalf("%v: %v", s, err)
+		}
+		if got := r.Checkpoint.At(p0); !xmath.EqualWithin(got, cp0, 1e-12, 0) {
+			t.Errorf("%v: C_P(P0) = %g, want %g", s, got, cp0)
+		}
+		if got := r.Verification.At(p0); !xmath.EqualWithin(got, vp0, 1e-12, 0) {
+			t.Errorf("%v: V_P(P0) = %g, want %g", s, got, vp0)
+		}
+		if r.Recovery != r.Checkpoint {
+			t.Errorf("%v: recovery != checkpoint", s)
+		}
+		if r.Downtime != d {
+			t.Errorf("%v: downtime lost", s)
+		}
+	}
+}
+
+func TestScenarioScalingDirections(t *testing.T) {
+	const p0, cp0, vp0 = 512, 300, 15.4
+	// Scenario 1: doubling P doubles C_P.
+	r1, _ := Scenario1.Calibrate(p0, cp0, vp0, 0)
+	if !xmath.EqualWithin(r1.Checkpoint.At(2*p0), 2*cp0, 1e-12, 0) {
+		t.Error("scenario 1 checkpoint not linear in P")
+	}
+	if r1.Verification.At(2*p0) != vp0 {
+		t.Error("scenario 1 verification should be constant")
+	}
+	// Scenario 3: C_P constant.
+	r3, _ := Scenario3.Calibrate(p0, cp0, vp0, 0)
+	if r3.Checkpoint.At(2*p0) != cp0 {
+		t.Error("scenario 3 checkpoint should be constant")
+	}
+	// Scenario 5: doubling P halves C_P.
+	r5, _ := Scenario5.Calibrate(p0, cp0, vp0, 0)
+	if !xmath.EqualWithin(r5.Checkpoint.At(2*p0), cp0/2, 1e-12, 0) {
+		t.Error("scenario 5 checkpoint not ∝ 1/P")
+	}
+	// Scenario 6: verification also halves.
+	r6, _ := Scenario6.Calibrate(p0, cp0, vp0, 0)
+	if !xmath.EqualWithin(r6.Verification.At(2*p0), vp0/2, 1e-12, 0) {
+		t.Error("scenario 6 verification not ∝ 1/P")
+	}
+}
+
+func TestScenarioExpectedClassMatchesClassify(t *testing.T) {
+	// The class computed from the calibrated parameters must agree with
+	// the paper's static mapping (Section IV-A).
+	for _, s := range AllScenarios {
+		r, err := s.Calibrate(1024, 439, 9.1, 3600)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, want := r.Classify().Class, s.ExpectedClass(); got != want {
+			t.Errorf("%v: classified %v, paper says %v", s, got, want)
+		}
+	}
+}
+
+func TestCalibrateRejectsBadInput(t *testing.T) {
+	if _, err := Scenario1.Calibrate(0, 300, 15, 0); err == nil {
+		t.Error("P=0 accepted")
+	}
+	if _, err := Scenario1.Calibrate(512, 0, 15, 0); err == nil {
+		t.Error("C_P=0 accepted")
+	}
+	if _, err := Scenario(0).Calibrate(512, 300, 15, 0); err == nil {
+		t.Error("invalid scenario accepted")
+	}
+	if _, err := Scenario(7).Calibrate(512, 300, 15, 0); err == nil {
+		t.Error("scenario 7 accepted")
+	}
+}
+
+func TestScenarioStringAndDescribe(t *testing.T) {
+	if Scenario3.String() != "scenario 3" {
+		t.Errorf("String = %q", Scenario3.String())
+	}
+	if Scenario(9).String() != "Scenario(9)" {
+		t.Error("invalid scenario String wrong")
+	}
+	seen := map[string]bool{}
+	for _, s := range AllScenarios {
+		d := s.Describe()
+		if d == "" || seen[d] {
+			t.Errorf("%v: bad or duplicate description %q", s, d)
+		}
+		seen[d] = true
+	}
+	if Scenario(0).Describe() != "unknown scenario" {
+		t.Error("unknown Describe wrong")
+	}
+}
+
+// Property: for any positive calibration inputs, every scenario reproduces
+// the measured costs at the calibration point.
+func TestCalibrationFixedPointProperty(t *testing.T) {
+	f := func(pRaw, cRaw, vRaw uint16) bool {
+		p0 := 1 + float64(pRaw%4096)
+		cp0 := 0.1 + float64(cRaw%10000)/10
+		vp0 := float64(vRaw%1000) / 10
+		for _, s := range AllScenarios {
+			r, err := s.Calibrate(p0, cp0, vp0, 0)
+			if err != nil {
+				return false
+			}
+			if !xmath.EqualWithin(r.Checkpoint.At(p0), cp0, 1e-9, 1e-12) {
+				return false
+			}
+			if !xmath.EqualWithin(r.Verification.At(p0), vp0, 1e-9, 1e-12) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIsZero(t *testing.T) {
+	if !(Checkpoint{}).IsZero() {
+		t.Error("zero checkpoint not detected")
+	}
+	if (Checkpoint{A: 1}).IsZero() {
+		t.Error("nonzero checkpoint reported zero")
+	}
+}

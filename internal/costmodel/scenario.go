@@ -1,0 +1,117 @@
+package costmodel
+
+import "fmt"
+
+// Scenario enumerates the six resilience scenarios of Table III. Each
+// scenario fixes which single component of the checkpoint cost (cP, a, or
+// b/P) and of the verification cost (v or u/P) is active; the component's
+// magnitude is calibrated from a platform's measured C_P and V_P at its
+// deployed processor count (Section IV-A).
+//
+//	Scenario   1     2     3     4     5     6
+//	C_P, R_P   cP    cP    a     a     b/P   b/P
+//	V_P        v     u/P   v     u/P   v     u/P
+type Scenario int
+
+// The six scenarios of Table III.
+const (
+	Scenario1 Scenario = 1 + iota // C_P = cP,  V_P = v
+	Scenario2                     // C_P = cP,  V_P = u/P
+	Scenario3                     // C_P = a,   V_P = v
+	Scenario4                     // C_P = a,   V_P = u/P
+	Scenario5                     // C_P = b/P, V_P = v
+	Scenario6                     // C_P = b/P, V_P = u/P
+)
+
+// AllScenarios lists the scenarios in Table III order.
+var AllScenarios = []Scenario{
+	Scenario1, Scenario2, Scenario3, Scenario4, Scenario5, Scenario6,
+}
+
+// String implements fmt.Stringer.
+func (s Scenario) String() string {
+	if s < Scenario1 || s > Scenario6 {
+		return fmt.Sprintf("Scenario(%d)", int(s))
+	}
+	return fmt.Sprintf("scenario %d", int(s))
+}
+
+// Valid reports whether s is one of the six Table III scenarios.
+func (s Scenario) Valid() bool { return s >= Scenario1 && s <= Scenario6 }
+
+// Describe returns the cost structure of the scenario as in Table III.
+func (s Scenario) Describe() string {
+	switch s {
+	case Scenario1:
+		return "C_P = cP, V_P = v"
+	case Scenario2:
+		return "C_P = cP, V_P = u/P"
+	case Scenario3:
+		return "C_P = a, V_P = v"
+	case Scenario4:
+		return "C_P = a, V_P = u/P"
+	case Scenario5:
+		return "C_P = b/P, V_P = v"
+	case Scenario6:
+		return "C_P = b/P, V_P = u/P"
+	default:
+		return "unknown scenario"
+	}
+}
+
+// Calibrate computes the resilience parameters for the scenario from a
+// platform's measured checkpoint cost cpMeasured and verification cost
+// vpMeasured at pMeasured processors, so that the projected C_P and V_P
+// reproduce the measurements exactly at P = pMeasured and extrapolate with
+// the scenario's scaling to any other processor count (Section IV-A).
+func (s Scenario) Calibrate(pMeasured, cpMeasured, vpMeasured, downtime float64) (Resilience, error) {
+	if !s.Valid() {
+		return Resilience{}, fmt.Errorf("costmodel: invalid %v", s)
+	}
+	if pMeasured < 1 || cpMeasured <= 0 || vpMeasured < 0 {
+		return Resilience{}, fmt.Errorf(
+			"costmodel: cannot calibrate from P=%g, C_P=%g, V_P=%g",
+			pMeasured, cpMeasured, vpMeasured)
+	}
+
+	var cp Checkpoint
+	switch s {
+	case Scenario1, Scenario2: // C_P = cP
+		cp = Checkpoint{C: cpMeasured / pMeasured}
+	case Scenario3, Scenario4: // C_P = a
+		cp = Checkpoint{A: cpMeasured}
+	case Scenario5, Scenario6: // C_P = b/P
+		cp = Checkpoint{B: cpMeasured * pMeasured}
+	}
+
+	var vp Verification
+	switch s {
+	case Scenario1, Scenario3, Scenario5: // V_P = v
+		vp = Verification{V: vpMeasured}
+	case Scenario2, Scenario4, Scenario6: // V_P = u/P
+		vp = Verification{U: vpMeasured * pMeasured}
+	}
+
+	res := New(cp, vp, downtime)
+	if err := res.Validate(); err != nil {
+		return Resilience{}, err
+	}
+	return res, nil
+}
+
+// ExpectedClass returns the analytical case (Section III-D) the scenario
+// falls into for applications with a constant sequential fraction:
+// scenarios 1–2 are case 1 (Theorem 2), scenarios 3–5 are case 2
+// (Theorem 3) and scenario 6 is case 3 (numerical only).
+func (s Scenario) ExpectedClass() Class {
+	switch s {
+	case Scenario1, Scenario2:
+		return ClassLinear
+	case Scenario3, Scenario4, Scenario5:
+		return ClassConstant
+	case Scenario6:
+		return ClassDecreasing
+	default:
+		return 0
+	}
+}

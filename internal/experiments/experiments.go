@@ -1,0 +1,244 @@
+// Package experiments reproduces the evaluation of Section IV: one driver
+// per figure (Figs. 2–7), each producing the same data series the paper
+// plots, as aligned text tables, CSV series and ASCII charts.
+//
+// Every driver follows the paper's methodology: patterns are configured
+// either from the first-order formulas (Theorems 1–3) or from the
+// numerical optimization of the exact overhead, then priced by Monte-Carlo
+// simulation (500 runs × 500 patterns by default, Section IV-A) and by the
+// analytical model. Randomness is fully deterministic given Config.Seed.
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"amdahlyd/internal/core"
+	"amdahlyd/internal/costmodel"
+	"amdahlyd/internal/optimize"
+	"amdahlyd/internal/platform"
+	"amdahlyd/internal/sim"
+	"amdahlyd/internal/speedup"
+)
+
+// Config holds the Monte-Carlo budget and global experiment parameters.
+type Config struct {
+	// Runs and Patterns set the Monte-Carlo budget per data point
+	// (defaults 500 and 500, the paper's choice).
+	Runs, Patterns int
+	// Seed makes the whole experiment deterministic.
+	Seed uint64
+	// Workers bounds experiment-level parallelism (default GOMAXPROCS).
+	Workers int
+	// Downtime is D in seconds (default 3600, Section IV-A).
+	Downtime float64
+	// Alpha is the sequential fraction for the α-fixed figures
+	// (default 0.1).
+	Alpha float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Runs == 0 {
+		c.Runs = 500
+	}
+	if c.Patterns == 0 {
+		c.Patterns = 500
+	}
+	if c.Workers == 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.Downtime == 0 {
+		c.Downtime = 3600
+	}
+	if c.Alpha == 0 {
+		c.Alpha = 0.1
+	}
+	return c
+}
+
+// Quick returns a configuration with a reduced Monte-Carlo budget for
+// tests and benchmarks: the same code paths, ~100× less work.
+func Quick() Config {
+	return Config{Runs: 40, Patterns: 60}
+}
+
+// BuildModel assembles the core model for a platform, scenario, sequential
+// fraction and downtime. α = 0 selects the perfectly parallel profile so
+// the case-4 analysis is dispatched as in the paper.
+func BuildModel(pl platform.Platform, sc costmodel.Scenario, alpha, downtime float64) (core.Model, error) {
+	if err := pl.Validate(); err != nil {
+		return core.Model{}, err
+	}
+	res, err := pl.Resilience(sc, downtime)
+	if err != nil {
+		return core.Model{}, err
+	}
+	var profile speedup.Profile
+	if alpha == 0 {
+		profile = speedup.PerfectlyParallel{}
+	} else {
+		am, err := speedup.NewAmdahl(alpha)
+		if err != nil {
+			return core.Model{}, err
+		}
+		profile = am
+	}
+	m := core.Model{
+		LambdaInd:    pl.LambdaInd,
+		FailStopFrac: pl.FailStopFraction,
+		SilentFrac:   pl.SilentFraction,
+		Res:          res,
+		Profile:      profile,
+	}
+	return m, m.Validate()
+}
+
+// Eval is one evaluated pattern configuration: the parameters, the model
+// prediction and the Monte-Carlo measurement.
+type Eval struct {
+	// P and T are the pattern parameters.
+	P, T float64
+	// PredictedH is the exact-model overhead H(T, P).
+	PredictedH float64
+	// SimulatedH is the Monte-Carlo mean overhead, with CI95 half-width.
+	SimulatedH float64
+	SimCI      float64
+	// AtBound flags a numerical optimum that stopped at the processor
+	// search bound (unbounded-allocation regimes).
+	AtBound bool
+	// Method records the solver ("first-order" or "numerical").
+	Method string
+}
+
+// cellSeed derives a stable per-cell seed from the master seed and a cell
+// label, so adding or reordering cells never changes other cells' streams.
+func cellSeed(master uint64, label string) uint64 {
+	h := uint64(1469598103934665603)
+	for i := 0; i < len(label); i++ {
+		h ^= uint64(label[i])
+		h *= 1099511628211
+	}
+	return h ^ master
+}
+
+// simulateEval prices a solution with the Monte-Carlo simulator. A
+// solution that sits too deep in the failure-dominated regime to simulate
+// (sim.ErrErrorPressure — this happens when a first-order method is
+// applied far outside its validity region, e.g. weak-scaling profiles at
+// the processor search bound) is returned with NaN simulated fields and
+// the model prediction intact.
+func simulateEval(m core.Model, sol core.Solution, atBound bool, cfg Config, label string) (Eval, error) {
+	res, err := sim.Simulate(m, sol.T, sol.P, sim.RunConfig{
+		Runs:     cfg.Runs,
+		Patterns: cfg.Patterns,
+		Seed:     cellSeed(cfg.Seed, label),
+		Workers:  1, // parallelism lives at the cell level
+	})
+	if errors.Is(err, sim.ErrErrorPressure) {
+		return Eval{
+			P:          sol.P,
+			T:          sol.T,
+			PredictedH: m.Overhead(sol.T, sol.P),
+			SimulatedH: math.NaN(),
+			SimCI:      math.NaN(),
+			AtBound:    atBound,
+			Method:     sol.Method + " (unsimulable)",
+		}, nil
+	}
+	if err != nil {
+		return Eval{}, fmt.Errorf("experiments: simulating %s: %w", label, err)
+	}
+	return Eval{
+		P:          sol.P,
+		T:          sol.T,
+		PredictedH: m.Overhead(sol.T, sol.P),
+		SimulatedH: res.Overhead.Mean,
+		SimCI:      res.Overhead.CI95,
+		AtBound:    atBound,
+		Method:     sol.Method,
+	}, nil
+}
+
+// solveFirstOrder returns the simulated first-order solution, or nil when
+// the first-order analysis has no bounded optimum (scenario 6, or α = 0).
+func solveFirstOrder(m core.Model, cfg Config, label string) (*Eval, error) {
+	sol, err := m.FirstOrder()
+	if errors.Is(err, core.ErrNoFirstOrder) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	if sol.P < 1 {
+		sol.P = 1
+	}
+	ev, err := simulateEval(m, sol, false, cfg, label+"/first-order")
+	if err != nil {
+		return nil, err
+	}
+	return &ev, nil
+}
+
+// solveNumerical returns the simulated numerical optimum.
+func solveNumerical(m core.Model, cfg Config, label string) (*Eval, error) {
+	num, err := optimize.OptimalPattern(m, optimize.PatternOptions{})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: optimizing %s: %w", label, err)
+	}
+	ev, err := simulateEval(m, num.Solution, num.AtPBound, cfg, label+"/numerical")
+	if err != nil {
+		return nil, err
+	}
+	return &ev, nil
+}
+
+// parallelFor runs fn(i) for i in [0, n) on up to workers goroutines and
+// returns the first error.
+func parallelFor(n, workers int, fn func(i int) error) error {
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > n {
+		workers = n
+	}
+	jobs := make(chan int)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				errs[i] = fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
+// scenarios135 is the scenario subset used by Figs. 4–7: the paper drops
+// scenarios 2, 4 and 6 there because they behave like 1, 3 and 5.
+var scenarios135 = []costmodel.Scenario{
+	costmodel.Scenario1, costmodel.Scenario3, costmodel.Scenario5,
+}
+
+// guard for NaN-safe table output.
+func orNaN(e *Eval, f func(Eval) float64) float64 {
+	if e == nil {
+		return math.NaN()
+	}
+	return f(*e)
+}
+
+// solutionAt wraps a fixed (T, P) pair as a Solution for pricing.
+func solutionAt(t, p float64) core.Solution {
+	return core.Solution{T: t, P: p, Method: "fixed"}
+}

@@ -1,0 +1,305 @@
+// Package failures implements the error-process substrate of Section II:
+// exponential fail-stop and silent error arrivals, the platform-level
+// superposition of P per-processor processes (λ_P = P·λ_ind), thinning of
+// a combined stream into fail-stop (fraction f) and silent (fraction s)
+// sub-streams, and synthetic failure traces with CSV persistence.
+//
+// Substitution note: the paper parameterizes its simulator with error
+// rates measured from SCR platform logs that are not public. The traces
+// generated here are exponential with exactly those published rates, which
+// is the same distributional assumption the paper's own simulator makes,
+// so every downstream code path (injection, rollback, statistics) is
+// exercised identically.
+package failures
+
+import (
+	"encoding/csv"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+
+	"amdahlyd/internal/rng"
+)
+
+// Kind distinguishes the two error sources of the model.
+type Kind int
+
+const (
+	// FailStop errors interrupt the application immediately.
+	FailStop Kind = iota
+	// Silent errors corrupt data and are detected only by a verification.
+	Silent
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case FailStop:
+		return "fail-stop"
+	case Silent:
+		return "silent"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Source draws exponential inter-arrival times for one error stream.
+// It is a thin, allocation-free wrapper over an rng stream.
+type Source struct {
+	rate float64
+	r    *rng.Rand
+}
+
+// NewSource returns a Source with the given arrival rate (1/s). A zero
+// rate is allowed and never produces an arrival.
+func NewSource(rate float64, r *rng.Rand) (*Source, error) {
+	if rate < 0 || math.IsNaN(rate) || math.IsInf(rate, 0) {
+		return nil, fmt.Errorf("failures: invalid rate %g", rate)
+	}
+	if r == nil {
+		return nil, errors.New("failures: nil rng")
+	}
+	return &Source{rate: rate, r: r}, nil
+}
+
+// Rate returns the arrival rate.
+func (s *Source) Rate() float64 { return s.rate }
+
+// Next returns the time to the next arrival (+Inf when the rate is 0).
+func (s *Source) Next() float64 {
+	if s.rate == 0 {
+		return math.Inf(1)
+	}
+	return s.r.Exp(s.rate)
+}
+
+// FirstInWindow samples whether an arrival occurs within a window of the
+// given length, and if so at what offset. Thanks to memorylessness this
+// is exactly one exponential draw truncated to the window.
+func (s *Source) FirstInWindow(window float64) (offset float64, struck bool) {
+	if window <= 0 || s.rate == 0 {
+		return 0, false
+	}
+	t := s.r.Exp(s.rate)
+	if t < window {
+		return t, true
+	}
+	return 0, false
+}
+
+// Environment bundles the two platform-level error streams for a job on P
+// processors, with independent sub-streams for each source as in the
+// paper's simulator ("two independent Poisson processes", Section IV-A).
+type Environment struct {
+	failStop *Source
+	silent   *Source
+}
+
+// NewEnvironment builds the platform-level environment: fail-stop rate
+// f·λ_ind·P and silent rate s·λ_ind·P, each with its own deterministic
+// rng sub-stream split from parent.
+func NewEnvironment(lambdaInd, f, s, procs float64, parent *rng.Rand) (*Environment, error) {
+	if lambdaInd < 0 || procs < 1 {
+		return nil, fmt.Errorf("failures: invalid λ_ind=%g or P=%g", lambdaInd, procs)
+	}
+	if f < 0 || s < 0 || math.Abs(f+s-1) > 1e-3 {
+		return nil, fmt.Errorf("failures: fractions f=%g, s=%g must sum to 1", f, s)
+	}
+	if parent == nil {
+		return nil, errors.New("failures: nil rng")
+	}
+	fs, err := NewSource(f*lambdaInd*procs, parent.SplitString("failstop"))
+	if err != nil {
+		return nil, err
+	}
+	ss, err := NewSource(s*lambdaInd*procs, parent.SplitString("silent"))
+	if err != nil {
+		return nil, err
+	}
+	return &Environment{failStop: fs, silent: ss}, nil
+}
+
+// FailStop returns the fail-stop stream.
+func (e *Environment) FailStop() *Source { return e.failStop }
+
+// Silent returns the silent stream.
+func (e *Environment) Silent() *Source { return e.silent }
+
+// Event is one failure in a trace.
+type Event struct {
+	// Time is the absolute occurrence time in seconds.
+	Time float64
+	// Kind is the error source.
+	Kind Kind
+	// Proc is the processor index the error struck (machine-level traces;
+	// -1 for platform-level traces).
+	Proc int
+}
+
+// Trace is a time-ordered failure record.
+type Trace struct {
+	Events []Event
+	// Horizon is the trace duration: the generator guarantees no events
+	// beyond it, and replay treats it as the end of knowledge.
+	Horizon float64
+}
+
+// GenerateTrace builds a synthetic machine-level trace: each of procs
+// processors suffers errors at rate λ_ind, each error independently
+// fail-stop with probability f. Events are merged and time-ordered.
+func GenerateTrace(lambdaInd, f float64, procs int, horizon float64, r *rng.Rand) (*Trace, error) {
+	if lambdaInd < 0 || procs < 1 || horizon <= 0 {
+		return nil, fmt.Errorf("failures: invalid trace parameters λ=%g P=%d horizon=%g",
+			lambdaInd, procs, horizon)
+	}
+	if f < 0 || f > 1 {
+		return nil, fmt.Errorf("failures: fail-stop fraction %g outside [0,1]", f)
+	}
+	if r == nil {
+		return nil, errors.New("failures: nil rng")
+	}
+	tr := &Trace{Horizon: horizon}
+	if lambdaInd == 0 {
+		return tr, nil
+	}
+	for p := 0; p < procs; p++ {
+		pr := r.Split(uint64(p))
+		for t := pr.Exp(lambdaInd); t < horizon; t += pr.Exp(lambdaInd) {
+			kind := Silent
+			if pr.Float64() < f {
+				kind = FailStop
+			}
+			tr.Events = append(tr.Events, Event{Time: t, Kind: kind, Proc: p})
+		}
+	}
+	sort.Slice(tr.Events, func(i, j int) bool { return tr.Events[i].Time < tr.Events[j].Time })
+	return tr, nil
+}
+
+// Count returns the number of events of the given kind.
+func (tr *Trace) Count(kind Kind) int {
+	n := 0
+	for _, e := range tr.Events {
+		if e.Kind == kind {
+			n++
+		}
+	}
+	return n
+}
+
+// InterArrivals returns the merged-stream inter-arrival times, the
+// quantity whose distribution must be Exp(P·λ_ind) by the superposition
+// property (Proposition 1.2 of [13]); tests verify this with a KS test.
+func (tr *Trace) InterArrivals() []float64 {
+	if len(tr.Events) == 0 {
+		return nil
+	}
+	out := make([]float64, 0, len(tr.Events))
+	prev := 0.0
+	for _, e := range tr.Events {
+		out = append(out, e.Time-prev)
+		prev = e.Time
+	}
+	return out
+}
+
+// WriteCSV persists the trace as "time,kind,proc" rows with a header.
+func (tr *Trace) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"time", "kind", "proc"}); err != nil {
+		return err
+	}
+	for _, e := range tr.Events {
+		rec := []string{
+			strconv.FormatFloat(e.Time, 'g', 17, 64),
+			e.Kind.String(),
+			strconv.Itoa(e.Proc),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV loads a trace written by WriteCSV. The horizon is restored as
+// the last event time (the file format does not carry it separately).
+func ReadCSV(r io.Reader) (*Trace, error) {
+	cr := csv.NewReader(r)
+	rows, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("failures: reading trace CSV: %w", err)
+	}
+	if len(rows) == 0 {
+		return nil, errors.New("failures: empty trace file")
+	}
+	tr := &Trace{}
+	for i, row := range rows[1:] {
+		if len(row) != 3 {
+			return nil, fmt.Errorf("failures: row %d has %d fields, want 3", i+2, len(row))
+		}
+		t, err := strconv.ParseFloat(row[0], 64)
+		if err != nil {
+			return nil, fmt.Errorf("failures: row %d time: %w", i+2, err)
+		}
+		var kind Kind
+		switch row[1] {
+		case "fail-stop":
+			kind = FailStop
+		case "silent":
+			kind = Silent
+		default:
+			return nil, fmt.Errorf("failures: row %d unknown kind %q", i+2, row[1])
+		}
+		proc, err := strconv.Atoi(row[2])
+		if err != nil {
+			return nil, fmt.Errorf("failures: row %d proc: %w", i+2, err)
+		}
+		tr.Events = append(tr.Events, Event{Time: t, Kind: kind, Proc: proc})
+	}
+	if n := len(tr.Events); n > 0 {
+		tr.Horizon = tr.Events[n-1].Time
+	}
+	return tr, nil
+}
+
+// Replay iterates over a trace in time order.
+type Replay struct {
+	trace *Trace
+	pos   int
+}
+
+// NewReplay returns a cursor at the beginning of the trace.
+func NewReplay(tr *Trace) *Replay { return &Replay{trace: tr} }
+
+// Next returns the next event, or ok = false when exhausted.
+func (rp *Replay) Next() (Event, bool) {
+	if rp.pos >= len(rp.trace.Events) {
+		return Event{}, false
+	}
+	e := rp.trace.Events[rp.pos]
+	rp.pos++
+	return e, true
+}
+
+// Peek returns the next event without consuming it.
+func (rp *Replay) Peek() (Event, bool) {
+	if rp.pos >= len(rp.trace.Events) {
+		return Event{}, false
+	}
+	return rp.trace.Events[rp.pos], true
+}
+
+// SkipTo advances the cursor past every event strictly before t.
+func (rp *Replay) SkipTo(t float64) {
+	for rp.pos < len(rp.trace.Events) && rp.trace.Events[rp.pos].Time < t {
+		rp.pos++
+	}
+}
+
+// Rewind resets the cursor to the start.
+func (rp *Replay) Rewind() { rp.pos = 0 }

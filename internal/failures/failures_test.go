@@ -1,0 +1,337 @@
+package failures
+
+import (
+	"bytes"
+	"math"
+	"sort"
+	"strings"
+	"testing"
+
+	"amdahlyd/internal/rng"
+	"amdahlyd/internal/stats"
+)
+
+func TestKindString(t *testing.T) {
+	if FailStop.String() != "fail-stop" || Silent.String() != "silent" {
+		t.Error("kind names wrong")
+	}
+	if Kind(9).String() != "Kind(9)" {
+		t.Error("unknown kind String wrong")
+	}
+}
+
+func TestNewSourceValidation(t *testing.T) {
+	r := rng.New(1)
+	if _, err := NewSource(-1, r); err == nil {
+		t.Error("negative rate accepted")
+	}
+	if _, err := NewSource(math.Inf(1), r); err == nil {
+		t.Error("infinite rate accepted")
+	}
+	if _, err := NewSource(1, nil); err == nil {
+		t.Error("nil rng accepted")
+	}
+	s, err := NewSource(2.5, r)
+	if err != nil || s.Rate() != 2.5 {
+		t.Errorf("valid source rejected: %v", err)
+	}
+}
+
+func TestZeroRateNeverArrives(t *testing.T) {
+	s, _ := NewSource(0, rng.New(1))
+	if !math.IsInf(s.Next(), 1) {
+		t.Error("zero-rate Next should be +Inf")
+	}
+	if _, struck := s.FirstInWindow(1e12); struck {
+		t.Error("zero-rate source struck")
+	}
+}
+
+func TestSourceInterArrivalsAreExponential(t *testing.T) {
+	rate := 1e-5
+	s, _ := NewSource(rate, rng.New(42))
+	xs := make([]float64, 4000)
+	for i := range xs {
+		xs[i] = s.Next()
+	}
+	res, err := stats.KSTestExponential(xs, rate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Reject(0.01) {
+		t.Errorf("inter-arrivals rejected as Exp(%g): D=%g p=%g", rate, res.Statistic, res.PValue)
+	}
+}
+
+func TestFirstInWindowProbability(t *testing.T) {
+	// P(strike in window) = 1 − e^{−λW}.
+	rate, window := 1e-4, 5000.0
+	s, _ := NewSource(rate, rng.New(7))
+	const n = 200000
+	hits := 0
+	for i := 0; i < n; i++ {
+		if off, struck := s.FirstInWindow(window); struck {
+			hits++
+			if off < 0 || off >= window {
+				t.Fatalf("offset %g outside window", off)
+			}
+		}
+	}
+	want := -math.Expm1(-rate * window)
+	got := float64(hits) / n
+	if math.Abs(got-want) > 0.005 {
+		t.Errorf("strike probability = %g, want %g", got, want)
+	}
+}
+
+func TestFirstInWindowConditionalDensity(t *testing.T) {
+	// Conditioned on striking, the offset follows the truncated
+	// exponential; its mean is E_lost(W) = 1/λ − W/(e^{λW}−1).
+	rate, window := 2e-4, 8000.0
+	s, _ := NewSource(rate, rng.New(9))
+	var acc stats.Welford
+	for i := 0; i < 400000; i++ {
+		if off, struck := s.FirstInWindow(window); struck {
+			acc.Add(off)
+		}
+	}
+	want := 1/rate - window/math.Expm1(rate*window)
+	if math.Abs(acc.Mean()-want)/want > 0.01 {
+		t.Errorf("conditional mean offset = %g, want %g", acc.Mean(), want)
+	}
+}
+
+func TestNewEnvironment(t *testing.T) {
+	r := rng.New(3)
+	env, err := NewEnvironment(1.69e-8, 0.2188, 0.7812, 512, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantF := 0.2188 * 1.69e-8 * 512
+	wantS := 0.7812 * 1.69e-8 * 512
+	if math.Abs(env.FailStop().Rate()-wantF) > 1e-18 {
+		t.Errorf("fail-stop rate = %g, want %g", env.FailStop().Rate(), wantF)
+	}
+	if math.Abs(env.Silent().Rate()-wantS) > 1e-18 {
+		t.Errorf("silent rate = %g, want %g", env.Silent().Rate(), wantS)
+	}
+}
+
+func TestNewEnvironmentValidation(t *testing.T) {
+	r := rng.New(3)
+	if _, err := NewEnvironment(-1, 0.5, 0.5, 10, r); err == nil {
+		t.Error("negative λ accepted")
+	}
+	if _, err := NewEnvironment(1e-8, 0.5, 0.2, 10, r); err == nil {
+		t.Error("f+s != 1 accepted")
+	}
+	if _, err := NewEnvironment(1e-8, 0.5, 0.5, 0, r); err == nil {
+		t.Error("P=0 accepted")
+	}
+	if _, err := NewEnvironment(1e-8, 0.5, 0.5, 10, nil); err == nil {
+		t.Error("nil rng accepted")
+	}
+}
+
+func TestEnvironmentStreamsIndependent(t *testing.T) {
+	// Identical parent seeds must give identical environments; the two
+	// sub-streams must differ from each other.
+	e1, _ := NewEnvironment(1e-6, 0.5, 0.5, 100, rng.New(5))
+	e2, _ := NewEnvironment(1e-6, 0.5, 0.5, 100, rng.New(5))
+	if e1.FailStop().Next() != e2.FailStop().Next() {
+		t.Error("environment not deterministic")
+	}
+	e3, _ := NewEnvironment(1e-6, 0.5, 0.5, 100, rng.New(6))
+	a := e3.FailStop().Next()
+	b := e3.Silent().Next()
+	if a == b {
+		t.Error("fail-stop and silent streams identical")
+	}
+}
+
+func TestGenerateTraceSuperposition(t *testing.T) {
+	// The merged stream of P independent Exp(λ_ind) processes must be
+	// Exp(P·λ_ind): Proposition 1.2 of the fault-tolerance book [13].
+	lambda, procs := 1e-6, 64
+	horizon := 2e8 // expect ~12800 events
+	tr, err := GenerateTrace(lambda, 0.3, procs, horizon, rng.New(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	inter := tr.InterArrivals()
+	if len(inter) < 5000 {
+		t.Fatalf("trace too sparse for the test: %d events", len(inter))
+	}
+	res, err := stats.KSTestExponential(inter, lambda*float64(procs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Reject(0.01) {
+		t.Errorf("superposed stream rejected as Exp(Pλ): D=%g p=%g", res.Statistic, res.PValue)
+	}
+}
+
+func TestGenerateTraceKindFractions(t *testing.T) {
+	f := 0.2188
+	tr, err := GenerateTrace(1e-6, f, 32, 5e8, rng.New(13))
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := len(tr.Events)
+	fs := tr.Count(FailStop)
+	if total < 1000 {
+		t.Fatalf("trace too sparse: %d", total)
+	}
+	got := float64(fs) / float64(total)
+	if math.Abs(got-f) > 0.02 {
+		t.Errorf("fail-stop fraction = %g, want %g", got, f)
+	}
+	if fs+tr.Count(Silent) != total {
+		t.Error("kinds do not partition the trace")
+	}
+}
+
+func TestGenerateTraceOrderingAndHorizon(t *testing.T) {
+	tr, err := GenerateTrace(1e-5, 0.5, 16, 1e7, rng.New(17))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sort.SliceIsSorted(tr.Events, func(i, j int) bool {
+		return tr.Events[i].Time < tr.Events[j].Time
+	}) {
+		t.Error("trace not time-ordered")
+	}
+	for _, e := range tr.Events {
+		if e.Time >= tr.Horizon {
+			t.Errorf("event at %g beyond horizon %g", e.Time, tr.Horizon)
+		}
+		if e.Proc < 0 || e.Proc >= 16 {
+			t.Errorf("event on invalid processor %d", e.Proc)
+		}
+	}
+}
+
+func TestGenerateTraceValidation(t *testing.T) {
+	r := rng.New(1)
+	if _, err := GenerateTrace(-1, 0.5, 4, 100, r); err == nil {
+		t.Error("negative λ accepted")
+	}
+	if _, err := GenerateTrace(1e-6, 1.5, 4, 100, r); err == nil {
+		t.Error("f > 1 accepted")
+	}
+	if _, err := GenerateTrace(1e-6, 0.5, 0, 100, r); err == nil {
+		t.Error("0 processors accepted")
+	}
+	if _, err := GenerateTrace(1e-6, 0.5, 4, 0, r); err == nil {
+		t.Error("zero horizon accepted")
+	}
+	if _, err := GenerateTrace(1e-6, 0.5, 4, 100, nil); err == nil {
+		t.Error("nil rng accepted")
+	}
+	// Zero rate: valid, empty trace.
+	tr, err := GenerateTrace(0, 0.5, 4, 100, r)
+	if err != nil || len(tr.Events) != 0 {
+		t.Error("zero-rate trace should be empty and valid")
+	}
+}
+
+func TestTraceCSVRoundTrip(t *testing.T) {
+	tr, err := GenerateTrace(1e-5, 0.4, 8, 1e6, rng.New(19))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Events) != len(tr.Events) {
+		t.Fatalf("round trip lost events: %d vs %d", len(back.Events), len(tr.Events))
+	}
+	for i := range tr.Events {
+		if tr.Events[i] != back.Events[i] {
+			t.Fatalf("event %d changed: %+v vs %+v", i, tr.Events[i], back.Events[i])
+		}
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"time,kind,proc\nnot-a-number,silent,0\n",
+		"time,kind,proc\n1.5,meteor,0\n",
+		"time,kind,proc\n1.5,silent,zero\n",
+	}
+	for i, in := range cases {
+		if _, err := ReadCSV(strings.NewReader(in)); err == nil {
+			t.Errorf("case %d: malformed CSV accepted", i)
+		}
+	}
+}
+
+func TestReplay(t *testing.T) {
+	tr := &Trace{Events: []Event{
+		{Time: 1, Kind: Silent, Proc: 0},
+		{Time: 2, Kind: FailStop, Proc: 1},
+		{Time: 5, Kind: Silent, Proc: 2},
+	}, Horizon: 10}
+	rp := NewReplay(tr)
+	if e, ok := rp.Peek(); !ok || e.Time != 1 {
+		t.Error("Peek failed")
+	}
+	if e, ok := rp.Next(); !ok || e.Time != 1 {
+		t.Error("first Next wrong")
+	}
+	rp.SkipTo(5)
+	if e, ok := rp.Next(); !ok || e.Time != 5 {
+		t.Errorf("SkipTo landed wrong: %+v", e)
+	}
+	if _, ok := rp.Next(); ok {
+		t.Error("exhausted replay returned an event")
+	}
+	rp.Rewind()
+	if e, ok := rp.Next(); !ok || e.Time != 1 {
+		t.Error("Rewind failed")
+	}
+}
+
+func TestInterArrivalsEmpty(t *testing.T) {
+	tr := &Trace{}
+	if tr.InterArrivals() != nil {
+		t.Error("empty trace should have nil inter-arrivals")
+	}
+}
+
+// The number of events in fixed windows of a Poisson process of rate
+// P·λ_ind must be Poisson(P·λ_ind·W): chi-square goodness of fit on the
+// generated trace, the distributional companion of the KS test above.
+func TestTraceWindowCountsArePoisson(t *testing.T) {
+	lambda, procs := 1e-6, 32
+	horizon := 4e8
+	tr, err := GenerateTrace(lambda, 0.3, procs, horizon, rng.New(21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	window := 2e6 // expect mean 64 events... use larger windows: mean = P·λ·W = 64
+	nWindows := int(horizon / window)
+	counts := make([]int64, nWindows)
+	for _, e := range tr.Events {
+		w := int(e.Time / window)
+		if w >= nWindows {
+			w = nWindows - 1
+		}
+		counts[w]++
+	}
+	mean := lambda * float64(procs) * window
+	res, err := stats.ChiSquarePoisson(counts, mean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Reject(0.01) {
+		t.Errorf("window counts rejected as Poisson(%g): χ²=%g df=%d p=%g",
+			mean, res.Statistic, res.DF, res.PValue)
+	}
+}

@@ -1,0 +1,325 @@
+package multilevel
+
+import (
+	"math"
+	"testing"
+
+	"amdahlyd/internal/core"
+	"amdahlyd/internal/costmodel"
+	"amdahlyd/internal/rng"
+	"amdahlyd/internal/speedup"
+	"amdahlyd/internal/xmath"
+)
+
+// heraCosts builds a plausible two-level cost set: disk checkpoint 300 s,
+// in-memory 20 s, verification 15.4 s.
+func heraCosts() Costs {
+	return Costs{V: 15.4, C1: 20, R1: 20, C2: 300, R2: 300, D: 3600}
+}
+
+func heraRates(procs float64) (lf, ls float64) {
+	return 0.2188 * 1.69e-8 * procs, 0.7812 * 1.69e-8 * procs
+}
+
+func TestCostsValidate(t *testing.T) {
+	if err := heraCosts().Validate(); err != nil {
+		t.Errorf("valid costs rejected: %v", err)
+	}
+	bad := heraCosts()
+	bad.C1 = -1
+	if err := bad.Validate(); err == nil {
+		t.Error("negative cost accepted")
+	}
+	inv := heraCosts()
+	inv.C1, inv.C2 = 300, 20 // level 2 cheaper than level 1
+	if err := inv.Validate(); err == nil {
+		t.Error("inverted level costs accepted")
+	}
+}
+
+func TestFirstOrderSeparation(t *testing.T) {
+	c := heraCosts()
+	lf, ls := heraRates(512)
+	plan, err := FirstOrder(c, lf, ls, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// T* = sqrt((V+C1)/λs), U* = sqrt(2·C2/λf).
+	wantT := math.Sqrt((c.V + c.C1) / ls)
+	if !xmath.EqualWithin(plan.T, wantT, 1e-9, 0) {
+		t.Errorf("T* = %g, want %g", plan.T, wantT)
+	}
+	wantU := math.Sqrt(2 * c.C2 / lf)
+	kReal := wantU / wantT
+	if math.Abs(float64(plan.K)-kReal) > 1 {
+		t.Errorf("K = %d, want ≈%g", plan.K, kReal)
+	}
+	if plan.K < 1 {
+		t.Error("K must be at least 1")
+	}
+}
+
+func TestFirstOrderIsStationary(t *testing.T) {
+	c := heraCosts()
+	lf, ls := heraRates(512)
+	plan, err := FirstOrder(c, lf, ls, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h0 := Overhead(c, plan.Pattern, lf, ls, 0.1)
+	if !xmath.EqualWithin(h0, plan.PredictedH, 1e-12, 0) {
+		t.Error("PredictedH inconsistent with Overhead")
+	}
+	// Perturbing T or K must not improve the first-order overhead.
+	for _, fT := range []float64{0.8, 1.25} {
+		if h := Overhead(c, Pattern{T: plan.T * fT, K: plan.K}, lf, ls, 0.1); h < h0-1e-12 {
+			t.Errorf("overhead %g at %g·T* beats optimum %g", h, fT, h0)
+		}
+	}
+	for _, dK := range []int{-1, 1} {
+		k := plan.K + dK
+		if k < 1 {
+			continue
+		}
+		if h := Overhead(c, Pattern{T: plan.T, K: k}, lf, ls, 0.1); h < h0-1e-12 {
+			t.Errorf("overhead %g at K=%d beats optimum %g", h, k, h0)
+		}
+	}
+}
+
+func TestFirstOrderValidation(t *testing.T) {
+	c := heraCosts()
+	if _, err := FirstOrder(c, 0, 1e-6, 0.1); err == nil {
+		t.Error("zero fail-stop rate accepted")
+	}
+	if _, err := FirstOrder(c, 1e-6, 0, 0.1); err == nil {
+		t.Error("zero silent rate accepted")
+	}
+	if _, err := FirstOrder(c, 1e-6, 1e-6, 0); err == nil {
+		t.Error("zero H(P) accepted")
+	}
+	bad := c
+	bad.V = math.NaN()
+	if _, err := FirstOrder(bad, 1e-6, 1e-6, 0.1); err == nil {
+		t.Error("NaN cost accepted")
+	}
+}
+
+func TestSimulatorValidation(t *testing.T) {
+	c := heraCosts()
+	if _, err := NewSimulator(c, Pattern{T: 0, K: 3}, 1e-6, 1e-6); err == nil {
+		t.Error("T=0 accepted")
+	}
+	if _, err := NewSimulator(c, Pattern{T: 100, K: 0}, 1e-6, 1e-6); err == nil {
+		t.Error("K=0 accepted")
+	}
+	if _, err := NewSimulator(c, Pattern{T: 100, K: 3}, -1, 1e-6); err == nil {
+		t.Error("negative rate accepted")
+	}
+	s, err := NewSimulator(c, Pattern{T: 100, K: 3}, 1e-6, 1e-6)
+	if err != nil || s == nil {
+		t.Fatalf("valid simulator rejected: %v", err)
+	}
+	if _, err := s.Simulate(0, 10, 1, 0.1); err == nil {
+		t.Error("zero runs accepted")
+	}
+}
+
+func TestSimulatorErrorFree(t *testing.T) {
+	c := heraCosts()
+	s, err := NewSimulator(c, Pattern{T: 1000, K: 4}, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st Stats
+	s.SimulatePattern(rng.New(1), &st)
+	// 4 segments of (T+V+C1) plus one C2; the last segment still takes
+	// its in-memory checkpoint in this protocol.
+	want := 4*(1000+c.V+c.C1) + c.C2
+	if !xmath.EqualWithin(st.Elapsed, want, 1e-12, 0) {
+		t.Errorf("error-free elapsed %g, want %g", st.Elapsed, want)
+	}
+	if st.FailStops != 0 || st.SilentDetections != 0 {
+		t.Errorf("phantom errors: %+v", st)
+	}
+}
+
+// The simulated overhead must match the first-order prediction within a
+// few percent in the first-order validity regime.
+func TestSimulationMatchesFirstOrder(t *testing.T) {
+	c := heraCosts()
+	lf, ls := heraRates(512)
+	plan, err := FirstOrder(c, lf, ls, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSimulator(c, plan.Pattern, lf, ls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, err := s.Simulate(120, 80, 7, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if xmath.RelDiff(sum.Mean, plan.PredictedH) > 0.03 {
+		t.Errorf("simulated %g vs predicted %g", sum.Mean, plan.PredictedH)
+	}
+}
+
+// The economic claim: with cheap in-memory checkpoints and mostly-silent
+// errors (the Hera mix), the optimal two-level pattern beats the optimal
+// single-level pattern.
+func TestTwoLevelBeatsSingleLevelWhenSilentDominates(t *testing.T) {
+	res, err := costmodel.Scenario3.Calibrate(512, 300, 15.4, 3600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := core.Model{
+		LambdaInd:    1.69e-8,
+		FailStopFrac: 0.2188,
+		SilentFrac:   0.7812,
+		Res:          res,
+		Profile:      speedup.Amdahl{Alpha: 0.1},
+	}
+	p := 512.0
+	lf, ls := m.Rates(p)
+	hOfP := m.Profile.Overhead(p)
+
+	// Single level: Theorem 1 optimal pattern, priced by its simulator.
+	single := m.OverheadAtOptimalPeriod(p)
+
+	costs, err := SingleLevelCosts(m, p, 20.0/300) // 20 s in-memory checkpoint
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := FirstOrder(costs, lf, ls, hOfP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.K < 2 {
+		t.Fatalf("expected a genuinely multi-segment pattern, got K=%d", plan.K)
+	}
+	if plan.PredictedH >= single {
+		t.Errorf("two-level %g should beat single-level %g with cheap C1", plan.PredictedH, single)
+	}
+
+	// And the advantage survives simulation.
+	s, err := NewSimulator(costs, plan.Pattern, lf, ls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, err := s.Simulate(100, 60, 11, hOfP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Mean >= single {
+		t.Errorf("simulated two-level %g should beat single-level %g", sum.Mean, single)
+	}
+}
+
+func TestSingleLevelCostsValidation(t *testing.T) {
+	res, _ := costmodel.Scenario3.Calibrate(512, 300, 15.4, 3600)
+	m := core.Model{
+		LambdaInd: 1e-8, FailStopFrac: 0.2, SilentFrac: 0.8,
+		Res: res, Profile: speedup.Amdahl{Alpha: 0.1},
+	}
+	if _, err := SingleLevelCosts(m, 512, 1.5); err == nil {
+		t.Error("fraction > 1 accepted")
+	}
+	c, err := SingleLevelCosts(m, 512, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !xmath.EqualWithin(c.C1, 30, 1e-9, 0) || !xmath.EqualWithin(c.C2, 300, 1e-9, 0) {
+		t.Errorf("derived costs wrong: %+v", c)
+	}
+}
+
+// Error accounting: with only silent errors, every detection costs one
+// memory recovery and no disk recovery.
+func TestSilentOnlyUsesMemoryRecoveries(t *testing.T) {
+	c := heraCosts()
+	_, ls := heraRates(512)
+	s, err := NewSimulator(c, Pattern{T: 5000, K: 5}, 0, ls*100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st Stats
+	r := rng.New(3)
+	for i := 0; i < 500; i++ {
+		s.SimulatePattern(r, &st)
+	}
+	if st.SilentDetections == 0 {
+		t.Fatal("no silent errors at 100× rate — test is vacuous")
+	}
+	if st.DiskRecoveries != 0 || st.FailStops != 0 {
+		t.Errorf("silent-only run touched disk recovery: %+v", st)
+	}
+	if st.MemRecoveries != st.SilentDetections {
+		t.Errorf("memory recoveries %d != detections %d", st.MemRecoveries, st.SilentDetections)
+	}
+}
+
+// With only fail-stop errors, rollbacks always go to disk.
+func TestFailStopOnlyUsesDiskRecoveries(t *testing.T) {
+	c := heraCosts()
+	lf, _ := heraRates(512)
+	s, err := NewSimulator(c, Pattern{T: 5000, K: 5}, lf*100, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st Stats
+	r := rng.New(5)
+	for i := 0; i < 500; i++ {
+		s.SimulatePattern(r, &st)
+	}
+	if st.FailStops == 0 {
+		t.Fatal("no fail-stops at 100× rate — test is vacuous")
+	}
+	if st.MemRecoveries != 0 || st.SilentDetections != 0 {
+		t.Errorf("fail-stop-only run used memory recovery: %+v", st)
+	}
+	if st.DiskRecoveries < st.FailStops {
+		t.Errorf("disk recoveries %d < fail-stops %d", st.DiskRecoveries, st.FailStops)
+	}
+}
+
+func TestOptimalNumericalNeverWorseThanFirstOrder(t *testing.T) {
+	c := heraCosts()
+	lf, ls := heraRates(512)
+	fo, err := FirstOrder(c, lf, ls, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	num, err := OptimalNumerical(c, lf, ls, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if num.PredictedH > fo.PredictedH+1e-15 {
+		t.Errorf("numerical %g worse than first-order %g", num.PredictedH, fo.PredictedH)
+	}
+	if num.K < 1 || num.T <= 0 {
+		t.Errorf("degenerate plan %+v", num)
+	}
+}
+
+func TestBestSegmentLengthStationarity(t *testing.T) {
+	// For each K, the closed-form T must be the minimum of the overhead.
+	c := heraCosts()
+	lf, ls := heraRates(512)
+	for _, k := range []int{1, 3, 8, 20} {
+		tt := bestSegmentLength(c, k, lf, ls)
+		h0 := Overhead(c, Pattern{T: tt, K: k}, lf, ls, 0.1)
+		for _, f := range []float64{0.9, 1.1} {
+			if h := Overhead(c, Pattern{T: tt * f, K: k}, lf, ls, 0.1); h < h0-1e-12 {
+				t.Errorf("K=%d: %g at %g·T beats %g", k, h, f, h0)
+			}
+		}
+	}
+}
+
+func TestOptimalNumericalPropagatesErrors(t *testing.T) {
+	if _, err := OptimalNumerical(heraCosts(), 0, 1e-6, 0.1); err == nil {
+		t.Error("zero rate accepted")
+	}
+}

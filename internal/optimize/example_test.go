@@ -1,0 +1,43 @@
+package optimize_test
+
+import (
+	"fmt"
+
+	"amdahlyd/internal/core"
+	"amdahlyd/internal/costmodel"
+	"amdahlyd/internal/optimize"
+	"amdahlyd/internal/speedup"
+)
+
+// Minimize a/x + b·x over twelve decades with a log-axis grid scan plus
+// golden refinement; the analytic optimum is sqrt(a/b) = 1e6.
+func ExampleGridRefine() {
+	f := func(x float64) float64 { return 1e6/x + 1e-6*x }
+	res, err := optimize.GridRefine(f, 1, 1e12, 80, true, 1e-12)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("x* = %.4g, f(x*) = %.4g\n", res.X, res.F)
+	// Output:
+	// x* = 1e+06, f(x*) = 2
+}
+
+// The paper's "optimal (numerical)" solution: joint minimization of the
+// exact overhead over period and processor count.
+func ExampleOptimalPattern() {
+	res, _ := costmodel.Scenario1.Calibrate(512, 300, 15.4, 3600)
+	m := core.Model{
+		LambdaInd:    1.69e-8,
+		FailStopFrac: 0.2188,
+		SilentFrac:   0.7812,
+		Res:          res,
+		Profile:      speedup.Amdahl{Alpha: 0.1},
+	}
+	sol, err := optimize.OptimalPattern(m, optimize.PatternOptions{})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("P* = %.0f, T* = %.0f s, overhead = %.4f\n", sol.P, sol.T, sol.Overhead)
+	// Output:
+	// P* = 207, T* = 6555 s, overhead = 0.1090
+}

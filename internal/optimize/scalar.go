@@ -1,0 +1,237 @@
+// Package optimize provides the numerical-optimization substrate used to
+// compute the paper's "optimal (numerical)" curves: derivative-free scalar
+// minimization (golden section and bounded Brent), root finding (bisection
+// and Brent–Dekker), grid-scan-plus-refine for robustly non-unimodal
+// objectives, and the nested two-dimensional optimizer over (T, P) built
+// on the exact overhead formula of Proposition 1.
+package optimize
+
+import (
+	"errors"
+	"math"
+)
+
+// Func is a scalar objective. It may return +Inf to reject a point, which
+// the comparison-based minimizers treat as "worse than everything".
+type Func func(float64) float64
+
+// Result reports a scalar minimization outcome.
+type Result struct {
+	// X is the minimizer found.
+	X float64
+	// F is the objective value at X.
+	F float64
+	// Evals counts objective evaluations.
+	Evals int
+	// Converged reports whether the interval shrank below tolerance
+	// before the iteration budget ran out.
+	Converged bool
+}
+
+const invPhi = 0.6180339887498949 // (√5 − 1)/2
+
+// Golden minimizes f on [a, b] by golden-section search. It assumes f is
+// unimodal on the interval; with a non-unimodal f it still returns a local
+// minimum. tol is the absolute interval tolerance on x.
+func Golden(f Func, a, b, tol float64, maxIter int) Result {
+	if b < a {
+		a, b = b, a
+	}
+	if tol <= 0 {
+		tol = 1e-10
+	}
+	if maxIter <= 0 {
+		maxIter = 200
+	}
+	x1 := b - invPhi*(b-a)
+	x2 := a + invPhi*(b-a)
+	f1, f2 := f(x1), f(x2)
+	evals := 2
+	converged := false
+	for i := 0; i < maxIter; i++ {
+		if b-a <= tol*(1+math.Abs(a)+math.Abs(b)) {
+			converged = true
+			break
+		}
+		if f1 <= f2 { // keep [a, x2]
+			b, x2, f2 = x2, x1, f1
+			x1 = b - invPhi*(b-a)
+			f1 = f(x1)
+		} else { // keep [x1, b]
+			a, x1, f1 = x1, x2, f2
+			x2 = a + invPhi*(b-a)
+			f2 = f(x2)
+		}
+		evals++
+	}
+	if f1 <= f2 {
+		return Result{X: x1, F: f1, Evals: evals, Converged: converged}
+	}
+	return Result{X: x2, F: f2, Evals: evals, Converged: converged}
+}
+
+// BrentMin minimizes f on [a, b] with Brent's method (parabolic
+// interpolation with golden-section fallback), the bounded variant used by
+// scipy's fminbound. tol is the relative x tolerance.
+func BrentMin(f Func, a, b, tol float64, maxIter int) Result {
+	if b < a {
+		a, b = b, a
+	}
+	if tol <= 0 {
+		tol = 1e-11
+	}
+	if maxIter <= 0 {
+		maxIter = 200
+	}
+	const tiny = 1e-21
+	cg := 1 - invPhi // 0.381966…
+
+	x := a + cg*(b-a)
+	w, v := x, x
+	fx := f(x)
+	fw, fv := fx, fx
+	evals := 1
+	var deltaX, rat float64
+	converged := false
+
+	for i := 0; i < maxIter; i++ {
+		mid := 0.5 * (a + b)
+		tol1 := tol*math.Abs(x) + tiny
+		tol2 := 2 * tol1
+		if math.Abs(x-mid) <= tol2-0.5*(b-a) {
+			converged = true
+			break
+		}
+		useGolden := true
+		if math.Abs(deltaX) > tol1 {
+			// Fit a parabola through (v, fv), (w, fw), (x, fx).
+			tmp1 := (x - w) * (fx - fv)
+			tmp2 := (x - v) * (fx - fw)
+			p := (x-v)*tmp2 - (x-w)*tmp1
+			tmp2 = 2 * (tmp2 - tmp1)
+			if tmp2 > 0 {
+				p = -p
+			}
+			tmp2 = math.Abs(tmp2)
+			dxTemp := deltaX
+			deltaX = rat
+			// Accept the parabolic step only if it is inside the
+			// bounds and shrinks faster than the previous step.
+			if p > tmp2*(a-x) && p < tmp2*(b-x) && math.Abs(p) < math.Abs(0.5*tmp2*dxTemp) {
+				rat = p / tmp2
+				u := x + rat
+				if (u-a) < tol2 || (b-u) < tol2 {
+					rat = math.Copysign(tol1, mid-x)
+				}
+				useGolden = false
+			}
+		}
+		if useGolden {
+			if x >= mid {
+				deltaX = a - x
+			} else {
+				deltaX = b - x
+			}
+			rat = cg * deltaX
+		}
+		var u float64
+		if math.Abs(rat) >= tol1 {
+			u = x + rat
+		} else {
+			u = x + math.Copysign(tol1, rat)
+		}
+		fu := f(u)
+		evals++
+		if fu <= fx {
+			if u >= x {
+				a = x
+			} else {
+				b = x
+			}
+			v, w, x = w, x, u
+			fv, fw, fx = fw, fx, fu
+		} else {
+			if u < x {
+				a = u
+			} else {
+				b = u
+			}
+			if fu <= fw || w == x {
+				v, w = w, u
+				fv, fw = fw, fu
+			} else if fu <= fv || v == x || v == w {
+				v, fv = u, fu
+			}
+		}
+	}
+	return Result{X: x, F: fx, Evals: evals, Converged: converged}
+}
+
+// GridRefine scans points samples of f over [lo, hi] (geometrically spaced
+// when logAxis is true), then refines the best bracket with golden-section
+// search. It is robust to objectives that are not globally unimodal, at
+// the cost of the initial sweep. The returned Result is the refined
+// minimum; ties prefer the smaller x.
+func GridRefine(f Func, lo, hi float64, points int, logAxis bool, tol float64) (Result, error) {
+	if !(hi > lo) {
+		return Result{}, errors.New("optimize: GridRefine needs hi > lo")
+	}
+	if points < 3 {
+		return Result{}, errors.New("optimize: GridRefine needs at least 3 grid points")
+	}
+	if logAxis && lo <= 0 {
+		return Result{}, errors.New("optimize: log-axis grid needs lo > 0")
+	}
+
+	// The transform maps grid coordinates to objective coordinates.
+	fromU := func(u float64) float64 { return u }
+	toU := func(x float64) float64 { return x }
+	if logAxis {
+		fromU = math.Exp
+		toU = math.Log
+	}
+	uLo, uHi := toU(lo), toU(hi)
+	step := (uHi - uLo) / float64(points-1)
+
+	bestI, bestF := 0, math.Inf(1)
+	us := make([]float64, points)
+	for i := 0; i < points; i++ {
+		u := uLo + float64(i)*step
+		if i == points-1 {
+			u = uHi
+		}
+		us[i] = u
+		if v := f(fromU(u)); v < bestF {
+			bestI, bestF = i, v
+		}
+	}
+	if math.IsInf(bestF, 1) {
+		return Result{}, errors.New("optimize: objective is +Inf over the whole grid")
+	}
+
+	// Refine within the bracket around the best grid point.
+	a := us[max(bestI-1, 0)]
+	b := us[min(bestI+1, points-1)]
+	res := Golden(func(u float64) float64 { return f(fromU(u)) }, a, b, tol, 0)
+	res.Evals += points
+	res.X = fromU(res.X)
+	// The grid best might still beat the refined point on plateaus.
+	if bestF < res.F {
+		res.X, res.F = fromU(us[bestI]), bestF
+	}
+	return res, nil
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

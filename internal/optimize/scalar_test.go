@@ -1,0 +1,211 @@
+package optimize
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"amdahlyd/internal/xmath"
+)
+
+func TestGoldenQuadratic(t *testing.T) {
+	f := func(x float64) float64 { return (x - 3) * (x - 3) }
+	res := Golden(f, -10, 10, 1e-10, 0)
+	if !res.Converged {
+		t.Error("golden did not converge on a parabola")
+	}
+	if math.Abs(res.X-3) > 1e-6 {
+		t.Errorf("minimizer = %g, want 3", res.X)
+	}
+}
+
+func TestGoldenReversedBounds(t *testing.T) {
+	f := func(x float64) float64 { return x * x }
+	res := Golden(f, 5, -5, 1e-10, 0)
+	if math.Abs(res.X) > 1e-6 {
+		t.Errorf("minimizer = %g, want 0", res.X)
+	}
+}
+
+func TestGoldenHandlesInfPlateau(t *testing.T) {
+	// Objective is +Inf for x > 2 (like an overflowing exponential).
+	f := func(x float64) float64 {
+		if x > 2 {
+			return math.Inf(1)
+		}
+		return (x - 1) * (x - 1)
+	}
+	res := Golden(f, 0, 100, 1e-9, 400)
+	if math.Abs(res.X-1) > 1e-4 {
+		t.Errorf("minimizer = %g, want 1 despite Inf plateau", res.X)
+	}
+}
+
+func TestBrentMinQuadratic(t *testing.T) {
+	f := func(x float64) float64 { return 2*(x-1.5)*(x-1.5) + 7 }
+	res := BrentMin(f, -100, 100, 1e-12, 0)
+	if !res.Converged {
+		t.Error("Brent did not converge")
+	}
+	if math.Abs(res.X-1.5) > 1e-7 {
+		t.Errorf("minimizer = %g, want 1.5", res.X)
+	}
+	if math.Abs(res.F-7) > 1e-12 {
+		t.Errorf("minimum = %g, want 7", res.F)
+	}
+}
+
+func TestBrentMinBeatsGoldenOnSmoothFunctions(t *testing.T) {
+	// Brent's parabolic steps should need fewer evaluations than golden
+	// on a well-behaved smooth objective at the same tolerance.
+	f := func(x float64) float64 { return math.Cosh(x - 0.7) }
+	g := Golden(f, -10, 10, 1e-10, 0)
+	b := BrentMin(f, -10, 10, 1e-10, 0)
+	if math.Abs(b.X-0.7) > 1e-6 || math.Abs(g.X-0.7) > 1e-6 {
+		t.Fatalf("wrong minimizers: golden %g, brent %g", g.X, b.X)
+	}
+	if b.Evals >= g.Evals {
+		t.Errorf("Brent used %d evals, golden %d; expected Brent to be cheaper",
+			b.Evals, g.Evals)
+	}
+}
+
+func TestBrentMinNonSmooth(t *testing.T) {
+	f := func(x float64) float64 { return math.Abs(x - 2) }
+	res := BrentMin(f, -10, 10, 1e-10, 0)
+	if math.Abs(res.X-2) > 1e-6 {
+		t.Errorf("|x−2| minimizer = %g", res.X)
+	}
+}
+
+// Property: for random parabolas, both minimizers find the vertex.
+func TestMinimizersOnRandomParabolas(t *testing.T) {
+	f := func(vRaw, aRaw uint16) bool {
+		vertex := float64(vRaw%2000)/100 - 10 // [−10, 10)
+		scale := 0.1 + float64(aRaw%100)
+		obj := func(x float64) float64 { return scale * (x - vertex) * (x - vertex) }
+		g := Golden(obj, -15, 15, 1e-10, 0)
+		b := BrentMin(obj, -15, 15, 1e-10, 0)
+		return math.Abs(g.X-vertex) < 1e-5 && math.Abs(b.X-vertex) < 1e-5
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGridRefineMultimodal(t *testing.T) {
+	// Two wells; the global one is at x = 8 with depth −2.
+	f := func(x float64) float64 {
+		return -math.Exp(-(x-2)*(x-2)) - 2*math.Exp(-(x-8)*(x-8))
+	}
+	res, err := GridRefine(f, 0, 10, 60, false, 1e-10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.X-8) > 1e-4 {
+		t.Errorf("global minimizer = %g, want 8", res.X)
+	}
+}
+
+func TestGridRefineLogAxis(t *testing.T) {
+	// Minimum of a/x + b·x is at sqrt(a/b); spans decades, so log grid.
+	a, b := 1e6, 1e-6
+	want := math.Sqrt(a / b) // 1e6
+	f := func(x float64) float64 { return a/x + b*x }
+	res, err := GridRefine(f, 1, 1e12, 80, true, 1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if xmath.RelDiff(res.X, want) > 1e-6 {
+		t.Errorf("minimizer = %g, want %g", res.X, want)
+	}
+}
+
+func TestGridRefineErrors(t *testing.T) {
+	f := func(x float64) float64 { return x }
+	if _, err := GridRefine(f, 1, 1, 10, false, 0); err == nil {
+		t.Error("hi == lo accepted")
+	}
+	if _, err := GridRefine(f, 0, 1, 2, false, 0); err == nil {
+		t.Error("2 grid points accepted")
+	}
+	if _, err := GridRefine(f, 0, 1, 10, true, 0); err == nil {
+		t.Error("log axis with lo = 0 accepted")
+	}
+	inf := func(float64) float64 { return math.Inf(1) }
+	if _, err := GridRefine(inf, 1, 10, 10, false, 0); err == nil {
+		t.Error("all-Inf objective accepted")
+	}
+}
+
+func TestGridRefineBoundaryMinimum(t *testing.T) {
+	// Monotone decreasing objective: the minimum is the right endpoint.
+	f := func(x float64) float64 { return -x }
+	res, err := GridRefine(f, 0, 10, 30, false, 1e-10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.X-10) > 1e-4 {
+		t.Errorf("boundary minimum at %g, want 10", res.X)
+	}
+}
+
+func TestBisect(t *testing.T) {
+	f := func(x float64) float64 { return x*x - 2 }
+	root, err := Bisect(f, 0, 2, 1e-12, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(root-math.Sqrt2) > 1e-9 {
+		t.Errorf("root = %.12g, want √2", root)
+	}
+	if _, err := Bisect(f, 2, 3, 0, 0); err != ErrNoBracket {
+		t.Error("non-bracketing interval accepted")
+	}
+	// Exact root at an endpoint.
+	g := func(x float64) float64 { return x*x - 4 }
+	if r, err := Bisect(g, 2, 3, 0, 0); err != nil || r != 2 {
+		t.Error("endpoint root not detected")
+	}
+}
+
+func TestBrentRoot(t *testing.T) {
+	f := func(x float64) float64 { return math.Cos(x) - x }
+	root, err := BrentRoot(f, 0, 1, 1e-14, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The Dottie number.
+	if math.Abs(root-0.7390851332151607) > 1e-10 {
+		t.Errorf("root = %.16g, want Dottie number", root)
+	}
+	if _, err := BrentRoot(f, 2, 3, 0, 0); err != ErrNoBracket {
+		t.Error("non-bracketing interval accepted")
+	}
+}
+
+func TestBrentRootHardCases(t *testing.T) {
+	// Flat near the root: f(x) = (x−1)^9.
+	f := func(x float64) float64 { return math.Pow(x-1, 9) }
+	root, err := BrentRoot(f, -4, 4.3, 1e-12, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(root-1) > 1e-3 {
+		t.Errorf("flat-root estimate = %g, want 1", root)
+	}
+}
+
+// Property: BrentRoot and Bisect agree on random monotone cubics.
+func TestRootFindersAgree(t *testing.T) {
+	f := func(cRaw uint16) bool {
+		c := 1 + float64(cRaw%100)
+		obj := func(x float64) float64 { return x*x*x + c*x - 5 }
+		r1, err1 := Bisect(obj, -10, 10, 1e-12, 0)
+		r2, err2 := BrentRoot(obj, -10, 10, 1e-12, 0)
+		return err1 == nil && err2 == nil && math.Abs(r1-r2) < 1e-8
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,105 @@
+package optimize
+
+import (
+	"testing"
+
+	"amdahlyd/internal/core"
+	"amdahlyd/internal/costmodel"
+	"amdahlyd/internal/speedup"
+	"amdahlyd/internal/xmath"
+)
+
+func TestSemiAnalyticMatchesTheoremsForAmdahl(t *testing.T) {
+	// Deep in the validity regime the semi-analytic optimum over the
+	// Theorem 1 curve must coincide with Theorems 2 and 3.
+	for _, sc := range []costmodel.Scenario{costmodel.Scenario1, costmodel.Scenario3} {
+		m := heraModel(t, sc, 0.1)
+		m.LambdaInd = 1e-11
+		sa, err := SemiAnalyticOptimum(m, PatternOptions{})
+		if err != nil {
+			t.Fatalf("%v: %v", sc, err)
+		}
+		fo, err := m.FirstOrder()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if xmath.RelDiff(sa.P, fo.P) > 0.05 {
+			t.Errorf("%v: semi-analytic P=%g vs theorem P=%g", sc, sa.P, fo.P)
+		}
+		if xmath.RelDiff(sa.Overhead, fo.Overhead) > 0.01 {
+			t.Errorf("%v: semi-analytic H=%g vs theorem H=%g", sc, sa.Overhead, fo.Overhead)
+		}
+		if sa.Method != "semi-analytic" {
+			t.Errorf("method = %q", sa.Method)
+		}
+	}
+}
+
+func TestSemiAnalyticGustafson(t *testing.T) {
+	// No closed form exists for Gustafson profiles; the semi-analytic
+	// solution must still be a local minimum of the Theorem 1 curve and
+	// be priced sensibly by the exact model.
+	m := heraModel(t, costmodel.Scenario1, 0.1)
+	m.Profile = speedup.Gustafson{Alpha: 0.1}
+	sa, err := SemiAnalyticOptimum(m, PatternOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h0 := m.OverheadAtOptimalPeriod(sa.P)
+	for _, f := range []float64{0.8, 1.25} {
+		if h := m.OverheadAtOptimalPeriod(sa.P * f); h < h0-1e-12 {
+			t.Errorf("curve value %g at %g·P* below optimum %g", h, f, h0)
+		}
+	}
+	// Gustafson speedup keeps growing with P, so its optimum enrolls far
+	// more processors than Amdahl with the same α.
+	am, err := heraModelSolution(t)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sa.P <= am.P {
+		t.Errorf("Gustafson P*=%g should exceed Amdahl P*=%g", sa.P, am.P)
+	}
+}
+
+func heraModelSolution(t *testing.T) (core.Solution, error) {
+	t.Helper()
+	m := heraModel(t, costmodel.Scenario1, 0.1)
+	return m.FirstOrder()
+}
+
+func TestSemiAnalyticPowerLaw(t *testing.T) {
+	m := heraModel(t, costmodel.Scenario3, 0.1)
+	m.Profile = speedup.PowerLaw{Gamma: 0.8}
+	sa, err := SemiAnalyticOptimum(m, PatternOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sa.P < 1 || sa.T <= 0 || sa.Overhead <= 0 {
+		t.Errorf("degenerate solution %+v", sa)
+	}
+	// Exact-model pricing at the semi-analytic point should sit near the
+	// first-order value in the validity regime.
+	exact := m.Overhead(sa.T, sa.P)
+	if xmath.RelDiff(exact, sa.Overhead) > 0.05 {
+		t.Errorf("first-order %g vs exact %g at the semi-analytic point", sa.Overhead, exact)
+	}
+}
+
+func TestSemiAnalyticValidation(t *testing.T) {
+	m := heraModel(t, costmodel.Scenario1, 0.1)
+	bad := m
+	bad.LambdaInd = -5
+	if _, err := SemiAnalyticOptimum(bad, PatternOptions{}); err == nil {
+		t.Error("invalid model accepted")
+	}
+	if _, err := SemiAnalyticOptimum(m, PatternOptions{PMin: 5, PMax: 2}); err == nil {
+		t.Error("invalid bounds accepted")
+	}
+	// Error-free model: period diverges, must error out cleanly.
+	free := m
+	free.LambdaInd = 0
+	if _, err := SemiAnalyticOptimum(free, PatternOptions{}); err == nil {
+		t.Error("zero-rate model should fail (no finite period)")
+	}
+}

@@ -1,0 +1,184 @@
+package platform
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"amdahlyd/internal/costmodel"
+	"amdahlyd/internal/xmath"
+)
+
+func TestTable2Values(t *testing.T) {
+	// Spot-check the hard-coded registry against Table II of the paper.
+	h := Hera()
+	if h.LambdaInd != 1.69e-8 || h.FailStopFraction != 0.2188 ||
+		h.Processors != 512 || h.CheckpointCost != 300 || h.VerificationCost != 15.4 {
+		t.Errorf("Hera parameters corrupted: %+v", h)
+	}
+	a := Atlas()
+	if a.LambdaInd != 1.62e-8 || a.SilentFraction != 0.9375 || a.CheckpointCost != 439 {
+		t.Errorf("Atlas parameters corrupted: %+v", a)
+	}
+	c := Coastal()
+	if c.LambdaInd != 2.34e-9 || c.Processors != 2048 || c.VerificationCost != 4.5 {
+		t.Errorf("Coastal parameters corrupted: %+v", c)
+	}
+	ssd := CoastalSSD()
+	if ssd.CheckpointCost != 2500 || ssd.VerificationCost != 180 {
+		t.Errorf("CoastalSSD parameters corrupted: %+v", ssd)
+	}
+}
+
+func TestAllPlatformsValid(t *testing.T) {
+	pls := All()
+	if len(pls) != 4 {
+		t.Fatalf("expected 4 platforms, got %d", len(pls))
+	}
+	for _, pl := range pls {
+		if err := pl.Validate(); err != nil {
+			t.Errorf("%s: %v", pl.Name, err)
+		}
+	}
+}
+
+func TestAllReturnsCopy(t *testing.T) {
+	pls := All()
+	pls[0].LambdaInd = 42
+	if Hera().LambdaInd == 42 {
+		t.Error("All exposed internal registry storage")
+	}
+}
+
+func TestRatesSplitAndScale(t *testing.T) {
+	h := Hera()
+	lf, ls := h.Rates(512)
+	if !xmath.EqualWithin(lf+ls, 512*1.69e-8, 1e-12, 0) {
+		t.Errorf("total platform rate = %g, want %g", lf+ls, 512*1.69e-8)
+	}
+	if !xmath.EqualWithin(lf/(lf+ls), 0.2188, 1e-9, 0) {
+		t.Errorf("fail-stop share = %g, want f", lf/(lf+ls))
+	}
+	// Rates scale linearly with P (Proposition 1.2 of [13]).
+	lf2, ls2 := h.Rates(1024)
+	if !xmath.EqualWithin(lf2, 2*lf, 1e-12, 0) || !xmath.EqualWithin(ls2, 2*ls, 1e-12, 0) {
+		t.Error("rates not linear in P")
+	}
+	// P < 1 clamps.
+	lfc, _ := h.Rates(0)
+	lf1, _ := h.Rates(1)
+	if lfc != lf1 {
+		t.Error("P < 1 not clamped in Rates")
+	}
+}
+
+func TestMTBFInd(t *testing.T) {
+	h := Hera()
+	if !xmath.EqualWithin(h.MTBFInd(), 1/1.69e-8, 1e-12, 0) {
+		t.Errorf("MTBF = %g", h.MTBFInd())
+	}
+	// Roughly 1.9 years: λ_ind ≈ 1.69e-8 per second.
+	years := h.MTBFInd() / (365.25 * 86400)
+	if years < 1.5 || years > 2.5 {
+		t.Errorf("Hera individual MTBF = %g years, outside plausible range", years)
+	}
+}
+
+func TestResilienceCalibration(t *testing.T) {
+	h := Hera()
+	for _, s := range costmodel.AllScenarios {
+		r, err := h.Resilience(s, 3600)
+		if err != nil {
+			t.Fatalf("%v: %v", s, err)
+		}
+		if got := r.Checkpoint.At(h.Processors); !xmath.EqualWithin(got, 300, 1e-9, 0) {
+			t.Errorf("%v: C_P(512) = %g", s, got)
+		}
+		if r.Downtime != 3600 {
+			t.Errorf("%v: downtime = %g", s, r.Downtime)
+		}
+	}
+}
+
+func TestWithLambda(t *testing.T) {
+	h := Hera().WithLambda(1e-10)
+	if h.LambdaInd != 1e-10 {
+		t.Error("WithLambda did not set rate")
+	}
+	if h.Name != "Hera" || h.CheckpointCost != 300 {
+		t.Error("WithLambda disturbed other fields")
+	}
+	if Hera().LambdaInd != 1.69e-8 {
+		t.Error("WithLambda mutated the registry")
+	}
+}
+
+func TestLookup(t *testing.T) {
+	for _, name := range []string{"hera", "HERA", "Hera"} {
+		if pl, err := Lookup(name); err != nil || pl.Name != "Hera" {
+			t.Errorf("Lookup(%q) = %v, %v", name, pl.Name, err)
+		}
+	}
+	for _, name := range []string{"coastalssd", "coastal-ssd", "Coastal SSD", "coastal_ssd"} {
+		if pl, err := Lookup(name); err != nil || pl.Name != "CoastalSSD" {
+			t.Errorf("Lookup(%q) = %v, %v", name, pl.Name, err)
+		}
+	}
+	if _, err := Lookup("summit"); err == nil {
+		t.Error("unknown platform accepted")
+	} else if !strings.Contains(err.Error(), "Hera") {
+		t.Error("error should list built-ins")
+	}
+}
+
+func TestValidateRejectsBadPlatforms(t *testing.T) {
+	good := Hera()
+	cases := []func(*Platform){
+		func(p *Platform) { p.Name = "" },
+		func(p *Platform) { p.LambdaInd = 0 },
+		func(p *Platform) { p.LambdaInd = math.Inf(1) },
+		func(p *Platform) { p.FailStopFraction = -0.1 },
+		func(p *Platform) { p.SilentFraction = 1.5 },
+		func(p *Platform) { p.FailStopFraction = 0.5; p.SilentFraction = 0.2 },
+		func(p *Platform) { p.Processors = 0 },
+		func(p *Platform) { p.CheckpointCost = 0 },
+		func(p *Platform) { p.VerificationCost = -1 },
+	}
+	for i, mutate := range cases {
+		pl := good
+		mutate(&pl)
+		if err := pl.Validate(); err == nil {
+			t.Errorf("case %d: invalid platform accepted: %+v", i, pl)
+		}
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, All()); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 4 {
+		t.Fatalf("round trip lost platforms: %d", len(back))
+	}
+	for i, pl := range back {
+		if pl != All()[i] {
+			t.Errorf("platform %d changed in round trip: %+v", i, pl)
+		}
+	}
+}
+
+func TestReadJSONRejectsInvalid(t *testing.T) {
+	if _, err := ReadJSON(strings.NewReader("not json")); err == nil {
+		t.Error("garbage JSON accepted")
+	}
+	bad := `[{"name":"X","lambda_ind":-1,"f":0.5,"s":0.5,"p":10,"cp":10,"vp":1}]`
+	if _, err := ReadJSON(strings.NewReader(bad)); err == nil {
+		t.Error("invalid platform accepted from JSON")
+	}
+}

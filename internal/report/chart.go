@@ -1,0 +1,143 @@
+package report
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Chart renders series as an ASCII scatter/line chart with optional
+// logarithmic axes — the terminal stand-in for the paper's figures.
+type Chart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	// LogX and LogY select logarithmic axes (points with non-positive
+	// coordinates are dropped on log axes).
+	LogX, LogY bool
+	// Width and Height are the plot-area dimensions in characters
+	// (defaults 72×20).
+	Width, Height int
+}
+
+// markers cycles through distinguishable glyphs per series.
+var markers = []byte{'*', 'o', '+', 'x', '#', '@', '%', '&'}
+
+// Render draws the chart with a frame, tick labels and a legend.
+func (c Chart) Render(w io.Writer, series ...Series) error {
+	width, height := c.Width, c.Height
+	if width == 0 {
+		width = 72
+	}
+	if height == 0 {
+		height = 20
+	}
+	if width < 16 || height < 4 {
+		return errors.New("report: chart too small")
+	}
+
+	type xy struct{ x, y float64 }
+	var pts [][]xy
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		var cur []xy
+		for _, p := range s.Points {
+			x, y := p.X, p.Y
+			if c.LogX {
+				if x <= 0 {
+					continue
+				}
+				x = math.Log10(x)
+			}
+			if c.LogY {
+				if y <= 0 {
+					continue
+				}
+				y = math.Log10(y)
+			}
+			if math.IsNaN(x) || math.IsNaN(y) || math.IsInf(x, 0) || math.IsInf(y, 0) {
+				continue
+			}
+			cur = append(cur, xy{x, y})
+			minX, maxX = math.Min(minX, x), math.Max(maxX, x)
+			minY, maxY = math.Min(minY, y), math.Max(maxY, y)
+		}
+		pts = append(pts, cur)
+	}
+	if math.IsInf(minX, 1) {
+		return errors.New("report: no plottable points")
+	}
+	if minX == maxX {
+		minX, maxX = minX-1, maxX+1
+	}
+	if minY == maxY {
+		minY, maxY = minY-1, maxY+1
+	}
+
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	for si, cur := range pts {
+		mk := markers[si%len(markers)]
+		for _, p := range cur {
+			col := int((p.x - minX) / (maxX - minX) * float64(width-1))
+			row := int((p.y - minY) / (maxY - minY) * float64(height-1))
+			grid[height-1-row][col] = mk
+		}
+	}
+
+	var b strings.Builder
+	if c.Title != "" {
+		fmt.Fprintf(&b, "%s\n", c.Title)
+	}
+	axisVal := func(v float64, log bool) float64 {
+		if log {
+			return math.Pow(10, v)
+		}
+		return v
+	}
+	yTop := Fmt(axisVal(maxY, c.LogY))
+	yBot := Fmt(axisVal(minY, c.LogY))
+	labelW := len(yTop)
+	if len(yBot) > labelW {
+		labelW = len(yBot)
+	}
+	for i, row := range grid {
+		label := strings.Repeat(" ", labelW)
+		switch i {
+		case 0:
+			label = pad(yTop, labelW)
+		case height - 1:
+			label = pad(yBot, labelW)
+		}
+		fmt.Fprintf(&b, "%s |%s|\n", label, string(row))
+	}
+	fmt.Fprintf(&b, "%s +%s+\n", strings.Repeat(" ", labelW), strings.Repeat("-", width))
+	xLo := Fmt(axisVal(minX, c.LogX))
+	xHi := Fmt(axisVal(maxX, c.LogX))
+	gap := width - len(xLo) - len(xHi)
+	if gap < 1 {
+		gap = 1
+	}
+	fmt.Fprintf(&b, "%s  %s%s%s\n", strings.Repeat(" ", labelW), xLo,
+		strings.Repeat(" ", gap), xHi)
+	if c.XLabel != "" || c.YLabel != "" {
+		fmt.Fprintf(&b, "x: %s, y: %s\n", c.XLabel, c.YLabel)
+	}
+	for si, s := range series {
+		fmt.Fprintf(&b, "  %c %s\n", markers[si%len(markers)], s.Name)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return strings.Repeat(" ", w-len(s)) + s
+}

@@ -1,0 +1,35 @@
+package report_test
+
+import (
+	"fmt"
+	"math"
+	"os"
+
+	"amdahlyd/internal/report"
+)
+
+func ExampleTable_Render() {
+	tb := report.NewTable("Optimal patterns on Hera",
+		"scenario", "P*", "T* (s)")
+	tb.AddRow("1", "219", "6239")
+	tb.AddRow("3", "257", "9022")
+	tb.Render(os.Stdout)
+	// Output:
+	// Optimal patterns on Hera
+	// scenario  P*   T* (s)
+	// ---------------------
+	// 1         219  6239
+	// 3         257  9022
+}
+
+func ExampleLogSlope() {
+	// P* = Θ(λ^-1/4): recover the exponent from samples.
+	var s report.Series
+	for _, lam := range []float64{1e-12, 1e-10, 1e-8} {
+		s.Add(lam, 3.1e3*math.Pow(lam, -0.25))
+	}
+	slope, _ := report.LogSlope(s)
+	fmt.Printf("slope = %.2f\n", slope)
+	// Output:
+	// slope = -0.25
+}

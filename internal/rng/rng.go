@@ -1,0 +1,206 @@
+// Package rng provides the deterministic random-number substrate used by
+// the Monte-Carlo simulator and the synthetic trace generator.
+//
+// The generator is xoshiro256** (Blackman & Vigna) seeded through
+// SplitMix64, which gives high-quality 64-bit streams from any seed,
+// including 0. Streams can be split deterministically by name or index, so
+// every simulation run in a parallel experiment has its own independent,
+// reproducible stream: running the same experiment twice — on any machine,
+// with any GOMAXPROCS — produces bit-identical results.
+package rng
+
+import (
+	"math"
+	"math/bits"
+)
+
+// splitmix64 advances the SplitMix64 state and returns the next value.
+// It is used only for seeding and stream derivation.
+func splitmix64(state *uint64) uint64 {
+	*state += 0x9E3779B97F4A7C15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// Rand is a xoshiro256** generator. It is not safe for concurrent use; use
+// Split to derive independent per-goroutine streams instead of sharing.
+type Rand struct {
+	s        [4]uint64
+	spare    float64 // cached second variate for Normal
+	hasSpare bool
+}
+
+// New returns a generator seeded from the given seed. Any seed, including
+// zero, yields a well-mixed state.
+func New(seed uint64) *Rand {
+	var r Rand
+	sm := seed
+	for i := range r.s {
+		r.s[i] = splitmix64(&sm)
+	}
+	// The all-zero state is invalid for xoshiro; SplitMix64 cannot produce
+	// four zeros from any seed, but guard anyway.
+	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
+		r.s[0] = 0x9E3779B97F4A7C15
+	}
+	return &r
+}
+
+// Uint64 returns the next 64 uniformly distributed bits.
+func (r *Rand) Uint64() uint64 {
+	s := &r.s
+	result := bits.RotateLeft64(s[1]*5, 7) * 9
+	t := s[1] << 17
+	s[2] ^= s[0]
+	s[3] ^= s[1]
+	s[1] ^= s[2]
+	s[0] ^= s[3]
+	s[2] ^= t
+	s[3] = bits.RotateLeft64(s[3], 45)
+	return result
+}
+
+// Split derives a new independent generator from this one, keyed by index.
+// Splitting is deterministic: the same parent seed and index always produce
+// the same child stream, and the parent's own sequence is not consumed.
+func (r *Rand) Split(index uint64) *Rand {
+	// Mix the parent state with the index through SplitMix64. Using all
+	// four words makes child streams distinct even for adjacent indices.
+	sm := r.s[0] ^ bits.RotateLeft64(r.s[1], 13) ^ bits.RotateLeft64(r.s[2], 27) ^
+		bits.RotateLeft64(r.s[3], 41) ^ (index * 0xD1B54A32D192ED03)
+	var child Rand
+	for i := range child.s {
+		child.s[i] = splitmix64(&sm)
+	}
+	if child.s[0]|child.s[1]|child.s[2]|child.s[3] == 0 {
+		child.s[0] = 1
+	}
+	return &child
+}
+
+// SplitString derives a child stream keyed by a string label, for named
+// experiment sub-streams ("failstop", "silent", …).
+func (r *Rand) SplitString(label string) *Rand {
+	h := uint64(1469598103934665603) // FNV-1a offset basis
+	for i := 0; i < len(label); i++ {
+		h ^= uint64(label[i])
+		h *= 1099511628211
+	}
+	return r.Split(h)
+}
+
+// Float64 returns a uniform variate in [0, 1) with 53 random bits.
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Float64Open returns a uniform variate in the open interval (0, 1),
+// suitable for inversion sampling where log(0) must be avoided.
+func (r *Rand) Float64Open() float64 {
+	for {
+		u := (float64(r.Uint64()>>11) + 0.5) / (1 << 53)
+		if u > 0 && u < 1 {
+			return u
+		}
+	}
+}
+
+// Intn returns a uniform int in [0, n). It panics if n <= 0.
+// Lemire's multiply-shift rejection method avoids modulo bias.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with non-positive n")
+	}
+	bound := uint64(n)
+	for {
+		x := r.Uint64()
+		hi, lo := bits.Mul64(x, bound)
+		if lo >= bound || lo >= -bound%bound {
+			return int(hi)
+		}
+	}
+}
+
+// Exp returns an exponential variate with the given rate (mean 1/rate),
+// via inversion: −log(U)/rate. It panics for non-positive rates.
+func (r *Rand) Exp(rate float64) float64 {
+	if rate <= 0 {
+		panic("rng: Exp with non-positive rate")
+	}
+	return -math.Log(r.Float64Open()) / rate
+}
+
+// Normal returns a standard normal variate using the Marsaglia polar
+// method. The spare variate is cached across calls.
+func (r *Rand) Normal() float64 {
+	if r.hasSpare {
+		r.hasSpare = false
+		return r.spare
+	}
+	for {
+		u := 2*r.Float64() - 1
+		v := 2*r.Float64() - 1
+		s := u*u + v*v
+		if s > 0 && s < 1 {
+			f := math.Sqrt(-2 * math.Log(s) / s)
+			r.spare = v * f
+			r.hasSpare = true
+			return u * f
+		}
+	}
+}
+
+// Poisson returns a Poisson variate with the given mean. For small means
+// it uses Knuth multiplication; for large means it uses the PTRS
+// transformed-rejection method of Hörmann (1993).
+func (r *Rand) Poisson(mean float64) int64 {
+	switch {
+	case mean < 0 || math.IsNaN(mean):
+		panic("rng: Poisson with negative mean")
+	case mean == 0:
+		return 0
+	case mean < 30:
+		return r.poissonKnuth(mean)
+	default:
+		return r.poissonPTRS(mean)
+	}
+}
+
+func (r *Rand) poissonKnuth(mean float64) int64 {
+	l := math.Exp(-mean)
+	var k int64
+	p := 1.0
+	for {
+		p *= r.Float64Open()
+		if p <= l {
+			return k
+		}
+		k++
+	}
+}
+
+func (r *Rand) poissonPTRS(mean float64) int64 {
+	b := 0.931 + 2.53*math.Sqrt(mean)
+	a := -0.059 + 0.02483*b
+	invAlpha := 1.1239 + 1.1328/(b-3.4)
+	vr := 0.9277 - 3.6224/(b-2)
+	logMean := math.Log(mean)
+	for {
+		u := r.Float64() - 0.5
+		v := r.Float64Open()
+		us := 0.5 - math.Abs(u)
+		k := math.Floor((2*a/us+b)*u + mean + 0.43)
+		if us >= 0.07 && v <= vr {
+			return int64(k)
+		}
+		if k < 0 || (us < 0.013 && v > us) {
+			continue
+		}
+		lg, _ := math.Lgamma(k + 1)
+		if math.Log(v*invAlpha/(a/(us*us)+b)) <= k*logMean-mean-lg {
+			return int64(k)
+		}
+	}
+}

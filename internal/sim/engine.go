@@ -1,0 +1,135 @@
+// Package sim implements the paper's simulation study (Section IV): a
+// pattern-level Monte-Carlo simulator of the VC protocol (the exact
+// stochastic process of Fig. 1), an independent machine-level
+// discrete-event simulator that models each of the P processors as its own
+// exponential failure source, and a parallel Monte-Carlo runner that
+// reproduces the paper's methodology (500 runs of at least 500 patterns,
+// averaged).
+//
+// Having two simulators of different granularity is deliberate: the
+// pattern-level simulator is the fast oracle used by the experiment
+// drivers, and the machine-level simulator validates the platform-rate
+// abstraction λ_P = P·λ_ind that both the analysis and the fast simulator
+// rely on.
+package sim
+
+import "container/heap"
+
+// Engine is a minimal discrete-event simulation kernel: a clock and a
+// time-ordered queue of scheduled actions. Ties are broken by scheduling
+// order, which keeps runs deterministic.
+type Engine struct {
+	now float64
+	pq  eventHeap
+	seq uint64
+}
+
+// Scheduled is a handle to a pending event; it can be cancelled.
+type Scheduled struct {
+	time    float64
+	seq     uint64
+	action  func()
+	stopped bool
+	index   int // position in the heap, -1 once popped
+}
+
+// Cancel prevents the event from firing. Cancelling an already-fired or
+// already-cancelled event is a no-op.
+func (s *Scheduled) Cancel() { s.stopped = true }
+
+// Time returns the simulated time the event is scheduled for.
+func (s *Scheduled) Time() float64 { return s.time }
+
+// Now returns the current simulated time.
+func (e *Engine) Now() float64 { return e.now }
+
+// Pending returns the number of events still queued (including cancelled
+// ones not yet drained).
+func (e *Engine) Pending() int { return e.pq.Len() }
+
+// Schedule enqueues action to run after delay simulated seconds. A
+// negative delay is clamped to zero (fires "now", after the current
+// event). It panics on a nil action.
+func (e *Engine) Schedule(delay float64, action func()) *Scheduled {
+	if action == nil {
+		panic("sim: Schedule with nil action")
+	}
+	if delay < 0 {
+		delay = 0
+	}
+	e.seq++
+	ev := &Scheduled{time: e.now + delay, seq: e.seq, action: action}
+	heap.Push(&e.pq, ev)
+	return ev
+}
+
+// Step fires the next non-cancelled event. It reports false when the
+// queue is exhausted.
+func (e *Engine) Step() bool {
+	for e.pq.Len() > 0 {
+		ev := heap.Pop(&e.pq).(*Scheduled)
+		if ev.stopped {
+			continue
+		}
+		e.now = ev.time
+		ev.action()
+		return true
+	}
+	return false
+}
+
+// Run fires events until the queue empties. Actions may schedule more
+// events; the caller is responsible for eventual quiescence.
+func (e *Engine) Run() {
+	for e.Step() {
+	}
+}
+
+// RunUntil fires events with time <= deadline, then sets the clock to the
+// deadline (if it advanced that far).
+func (e *Engine) RunUntil(deadline float64) {
+	for e.pq.Len() > 0 {
+		next := e.pq[0]
+		if next.stopped {
+			heap.Pop(&e.pq)
+			continue
+		}
+		if next.time > deadline {
+			break
+		}
+		e.Step()
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+}
+
+// eventHeap is a min-heap on (time, seq).
+type eventHeap []*Scheduled
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	ev := x.(*Scheduled)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*h = old[:n-1]
+	return ev
+}

@@ -1,0 +1,235 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+
+	"amdahlyd/internal/core"
+	"amdahlyd/internal/rng"
+)
+
+// Machine is the machine-level discrete-event simulator: every one of the
+// P processors is an independent exponential error source with rate
+// λ_ind, each error independently fail-stop with probability f. The job
+// runs the VC protocol on top. It validates the aggregated-rate model
+// used by the analysis and by Protocol: the superposition of P
+// per-processor processes is a platform process of rate P·λ_ind
+// (Proposition 1.2 of [13]), and the two simulators must agree
+// statistically on every observable.
+//
+// Model-faithful details:
+//   - silent errors arriving while the job is verifying, checkpointing or
+//     recovering are discarded (the paper protects I/O and verification
+//     from silent corruption);
+//   - no error of any kind strikes during downtime (per-processor error
+//     clocks are paused);
+//   - a fail-stop error anywhere aborts the pattern: downtime, recovery,
+//     full re-execution.
+type Machine struct {
+	procs     int
+	lambdaInd float64
+	failFrac  float64
+
+	t          float64
+	checkpoint float64
+	recovery   float64
+	verify     float64
+	downtime   float64
+}
+
+// NewMachine builds a machine-level simulator for PATTERN(T, P) under the
+// model. P must be an integer processor count.
+func NewMachine(m core.Model, t float64, procs int) (*Machine, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	if t <= 0 || procs < 1 {
+		return nil, fmt.Errorf("sim: invalid machine pattern T=%g, P=%d", t, procs)
+	}
+	p := float64(procs)
+	lf, ls := m.Rates(p)
+	if expectedIters(lf, ls, t, m.Res.Verification.At(p), m.Res.Checkpoint.At(p),
+		m.Res.Recovery.At(p)) > maxSimIters {
+		return nil, ErrErrorPressure
+	}
+	return &Machine{
+		procs:      procs,
+		lambdaInd:  m.LambdaInd,
+		failFrac:   m.FailStopFrac,
+		t:          t,
+		checkpoint: m.Res.Checkpoint.At(p),
+		recovery:   m.Res.Recovery.At(p),
+		verify:     m.Res.Verification.At(p),
+		downtime:   m.Res.Downtime,
+	}, nil
+}
+
+// machPhase enumerates the job states of the machine-level state machine.
+type machPhase int
+
+const (
+	phaseComputing machPhase = iota
+	phaseVerifying
+	phaseCheckpointing
+	phaseRecovering
+)
+
+// SimulateRun plays the requested number of patterns on the event engine
+// and returns the same statistics as the pattern-level simulator.
+func (mc *Machine) SimulateRun(patterns int, r *rng.Rand) (PatternStats, error) {
+	if patterns < 1 {
+		return PatternStats{}, errors.New("sim: need at least one pattern")
+	}
+	if r == nil {
+		return PatternStats{}, errors.New("sim: nil rng")
+	}
+
+	var (
+		eng   Engine
+		st    PatternStats
+		phase machPhase
+		// silentPending records an undetected corruption of the current
+		// pattern's computation.
+		silentPending bool
+		// segmentDone is the pending end-of-segment event.
+		segmentDone *Scheduled
+		// errEvents holds each processor's pending error event.
+		errEvents = make([]*Scheduled, mc.procs)
+		done      bool
+	)
+
+	// Forward declarations for the mutually recursive handlers.
+	var startPattern, startSegment func()
+	var onSegmentDone func()
+	var failStop, detectAndRecover func()
+	var scheduleProcError func(proc int, extraDelay float64)
+
+	scheduleProcError = func(proc int, extraDelay float64) {
+		if mc.lambdaInd == 0 {
+			return
+		}
+		delay := extraDelay + r.Exp(mc.lambdaInd)
+		errEvents[proc] = eng.Schedule(delay, func() {
+			if done {
+				return
+			}
+			isFailStop := r.Float64() < mc.failFrac
+			// Re-arm this processor's error clock first: arrivals are a
+			// Poisson process per processor regardless of job state.
+			p := proc
+			scheduleProcError(p, 0)
+			if isFailStop {
+				failStop()
+			} else if phase == phaseComputing {
+				// Silent corruption of computation; detected later by
+				// the verification.
+				silentPending = true
+			}
+			// Silent errors during V/C/R are discarded: those phases
+			// are protected (Section II, resilience model).
+		})
+	}
+
+	// Because exponential arrivals are memoryless, pausing a clock for a
+	// downtime and resuming it is statistically identical to discarding
+	// the pending arrival and drawing a fresh one after the pause. On
+	// downtime, cancel all pending arrivals and re-arm them with a fresh
+	// draw delayed by the downtime ("no error strikes during downtime").
+	restartClocksAfter := func(pause float64) {
+		for i, ev := range errEvents {
+			if ev != nil {
+				ev.Cancel()
+			}
+			scheduleProcError(i, pause)
+		}
+	}
+
+	startSegment = func() {
+		var length float64
+		switch phase {
+		case phaseComputing:
+			length = mc.t
+		case phaseVerifying:
+			length = mc.verify
+		case phaseCheckpointing:
+			length = mc.checkpoint
+		case phaseRecovering:
+			length = mc.recovery
+		}
+		segmentDone = eng.Schedule(length, onSegmentDone)
+	}
+
+	onSegmentDone = func() {
+		switch phase {
+		case phaseComputing:
+			phase = phaseVerifying
+			startSegment()
+		case phaseVerifying:
+			if silentPending {
+				detectAndRecover()
+				return
+			}
+			phase = phaseCheckpointing
+			startSegment()
+		case phaseCheckpointing:
+			st.Patterns++
+			if st.Patterns >= int64(patterns) {
+				done = true
+				for _, ev := range errEvents {
+					if ev != nil {
+						ev.Cancel()
+					}
+				}
+				return
+			}
+			startPattern()
+		case phaseRecovering:
+			startPattern()
+		}
+	}
+
+	failStop = func() {
+		st.FailStops++
+		if segmentDone != nil {
+			segmentDone.Cancel()
+		}
+		silentPending = false
+		// Downtime: errors cannot strike; re-arm clocks past it.
+		restartClocksAfter(mc.downtime)
+		phase = phaseRecovering
+		st.Recoveries++
+		segmentDone = eng.Schedule(mc.downtime+mc.recovery, onSegmentDone)
+	}
+
+	detectAndRecover = func() {
+		st.SilentDetections++
+		silentPending = false
+		phase = phaseRecovering
+		st.Recoveries++
+		startSegment()
+	}
+
+	startPattern = func() {
+		silentPending = false
+		phase = phaseComputing
+		startSegment()
+	}
+
+	for i := 0; i < mc.procs; i++ {
+		scheduleProcError(i, 0)
+	}
+	startPattern()
+	eng.Run()
+
+	st.Elapsed = eng.Now()
+	if st.Patterns != int64(patterns) {
+		return st, fmt.Errorf("sim: machine run ended with %d/%d patterns", st.Patterns, patterns)
+	}
+	return st, nil
+}
+
+// TheoreticalPlatformRate returns P·λ_ind, the superposed error rate the
+// aggregated model assumes; tests compare it against the observed rate.
+func (mc *Machine) TheoreticalPlatformRate() float64 {
+	return float64(mc.procs) * mc.lambdaInd
+}

@@ -1,0 +1,140 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"amdahlyd/internal/core"
+	"amdahlyd/internal/rng"
+	"amdahlyd/internal/stats"
+)
+
+// RunConfig parameterizes a Monte-Carlo campaign. The zero value plus a
+// Seed reproduces the paper's methodology: 500 independent runs, each of
+// at least 500 patterns (Section IV-A).
+type RunConfig struct {
+	// Runs is the number of independent simulation runs (default 500).
+	Runs int
+	// Patterns is the number of patterns per run (default 500).
+	Patterns int
+	// Seed fixes the campaign's master random stream; run i uses the
+	// deterministic child stream Split(i), so results are independent of
+	// scheduling and worker count.
+	Seed uint64
+	// Workers bounds the worker pool (default GOMAXPROCS).
+	Workers int
+	// Machine switches to the machine-level event simulator (P must then
+	// be integral); default is the fast pattern-level simulator.
+	Machine bool
+}
+
+func (c RunConfig) withDefaults() RunConfig {
+	if c.Runs == 0 {
+		c.Runs = 500
+	}
+	if c.Patterns == 0 {
+		c.Patterns = 500
+	}
+	if c.Workers == 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	return c
+}
+
+// RunResult aggregates a Monte-Carlo campaign.
+type RunResult struct {
+	// Overhead summarizes per-run expected execution overheads
+	// H = (elapsed/patterns)/T · H(P); its Mean is the quantity the
+	// paper plots as "simulated execution overhead".
+	Overhead stats.Summary
+	// MeanPatternTime summarizes per-run mean pattern times E(PATTERN).
+	MeanPatternTime stats.Summary
+	// FailStops, SilentDetections and Recoveries are totals across runs.
+	FailStops        int64
+	SilentDetections int64
+	Recoveries       int64
+	// Config echoes the effective configuration.
+	Config RunConfig
+}
+
+// Simulate runs the Monte-Carlo campaign for PATTERN(T, P) under the
+// model, fanning runs out over a worker pool with deterministic per-run
+// streams, and returns aggregated statistics.
+func Simulate(m core.Model, t, p float64, cfg RunConfig) (RunResult, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Runs < 1 || cfg.Patterns < 1 {
+		return RunResult{}, fmt.Errorf("sim: invalid config %+v", cfg)
+	}
+
+	type runOut struct {
+		stats PatternStats
+		err   error
+	}
+
+	var runOne func(r *rng.Rand) (PatternStats, error)
+	if cfg.Machine {
+		procs := int(p)
+		if float64(procs) != p {
+			return RunResult{}, errors.New("sim: machine-level simulation needs integral P")
+		}
+		mc, err := NewMachine(m, t, procs)
+		if err != nil {
+			return RunResult{}, err
+		}
+		runOne = func(r *rng.Rand) (PatternStats, error) {
+			return mc.SimulateRun(cfg.Patterns, r)
+		}
+	} else {
+		pr, err := NewProtocol(m, t, p)
+		if err != nil {
+			return RunResult{}, err
+		}
+		runOne = func(r *rng.Rand) (PatternStats, error) {
+			return pr.SimulateRun(cfg.Patterns, r)
+		}
+	}
+
+	master := rng.New(cfg.Seed)
+	hOfP := m.Profile.Overhead(p)
+
+	jobs := make(chan int)
+	outs := make([]runOut, cfg.Runs)
+	var wg sync.WaitGroup
+	workers := cfg.Workers
+	if workers > cfg.Runs {
+		workers = cfg.Runs
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				st, err := runOne(master.Split(uint64(i)))
+				outs[i] = runOut{stats: st, err: err}
+			}
+		}()
+	}
+	for i := 0; i < cfg.Runs; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+
+	var overhead, meanTime stats.Welford
+	res := RunResult{Config: cfg}
+	for i, out := range outs {
+		if out.err != nil {
+			return RunResult{}, fmt.Errorf("sim: run %d: %w", i, out.err)
+		}
+		overhead.Add(out.stats.Overhead(t, hOfP))
+		meanTime.Add(out.stats.MeanPatternTime())
+		res.FailStops += out.stats.FailStops
+		res.SilentDetections += out.stats.SilentDetections
+		res.Recoveries += out.stats.Recoveries
+	}
+	res.Overhead = overhead.Summarize()
+	res.MeanPatternTime = meanTime.Summarize()
+	return res, nil
+}

@@ -1,0 +1,135 @@
+package stats
+
+import (
+	"errors"
+	"math"
+
+	"amdahlyd/internal/xmath"
+)
+
+// ChiSquareResult reports a chi-square goodness-of-fit test.
+type ChiSquareResult struct {
+	// Statistic is Σ (observed − expected)² / expected.
+	Statistic float64
+	// DF is the degrees of freedom used for the p-value.
+	DF int
+	// PValue is P(χ²_DF >= Statistic).
+	PValue float64
+}
+
+// Reject reports whether the null hypothesis is rejected at level alpha.
+func (c ChiSquareResult) Reject(alpha float64) bool { return c.PValue < alpha }
+
+// ChiSquareGOF runs a chi-square goodness-of-fit test of observed counts
+// against expected counts. ddof is the number of model parameters
+// estimated from the data (subtracted from the degrees of freedom in
+// addition to the usual 1). Bins with expected counts below 5 violate the
+// test's assumptions and are rejected with an error; merge them first.
+func ChiSquareGOF(observed []int64, expected []float64, ddof int) (ChiSquareResult, error) {
+	if len(observed) != len(expected) {
+		return ChiSquareResult{}, errors.New("stats: observed/expected length mismatch")
+	}
+	if len(observed) < 2 {
+		return ChiSquareResult{}, errors.New("stats: need at least 2 bins")
+	}
+	df := len(observed) - 1 - ddof
+	if df < 1 {
+		return ChiSquareResult{}, errors.New("stats: non-positive degrees of freedom")
+	}
+	var stat float64
+	for i := range observed {
+		if expected[i] < 5 {
+			return ChiSquareResult{}, errors.New(
+				"stats: expected count below 5; merge sparse bins before testing")
+		}
+		d := float64(observed[i]) - expected[i]
+		stat += d * d / expected[i]
+	}
+	p := 1 - xmath.ChiSquareCDF(stat, df)
+	return ChiSquareResult{Statistic: stat, DF: df, PValue: p}, nil
+}
+
+// ChiSquarePoisson tests whether integer counts follow a Poisson
+// distribution with the given mean: counts are binned at their observed
+// values (tail-merged to keep expected counts >= 5) and compared with the
+// Poisson pmf. It is the oracle used to validate the trace generator's
+// per-window event counts.
+func ChiSquarePoisson(counts []int64, mean float64) (ChiSquareResult, error) {
+	if len(counts) == 0 {
+		return ChiSquareResult{}, ErrEmpty
+	}
+	if mean <= 0 {
+		return ChiSquareResult{}, errors.New("stats: Poisson mean must be positive")
+	}
+	maxK := int64(0)
+	for _, k := range counts {
+		if k < 0 {
+			return ChiSquareResult{}, errors.New("stats: negative count")
+		}
+		if k > maxK {
+			maxK = k
+		}
+	}
+	n := float64(len(counts))
+
+	// pmf(k) computed iteratively: p(0) = e^{−μ}, p(k) = p(k−1)·μ/k.
+	observed := make([]int64, maxK+1)
+	for _, k := range counts {
+		observed[k]++
+	}
+	expected := make([]float64, maxK+1)
+	p := math.Exp(-mean)
+	cumulative := 0.0
+	for k := int64(0); k <= maxK; k++ {
+		if k > 0 {
+			p *= mean / float64(k)
+		}
+		expected[k] = n * p
+		cumulative += p
+	}
+	// Put the entire upper tail mass into the last bin so expectations
+	// sum to n exactly.
+	expected[maxK] += n * (1 - cumulative)
+
+	obs, exp := mergeSparseBins(observed, expected, 5)
+	if len(obs) < 2 {
+		return ChiSquareResult{}, errors.New("stats: too few distinct counts for a χ² test")
+	}
+	return ChiSquareGOF(obs, exp, 0)
+}
+
+// mergeSparseBins merges adjacent bins (from both ends toward the mode)
+// until every expected count reaches the threshold.
+func mergeSparseBins(observed []int64, expected []float64, threshold float64) ([]int64, []float64) {
+	type bin struct {
+		o int64
+		e float64
+	}
+	var bins []bin
+	// Left-to-right accumulation.
+	var acc bin
+	for i := range observed {
+		acc.o += observed[i]
+		acc.e += expected[i]
+		if acc.e >= threshold {
+			bins = append(bins, acc)
+			acc = bin{}
+		}
+	}
+	// Fold any remainder into the last bin.
+	if acc.e > 0 || acc.o > 0 {
+		if len(bins) == 0 {
+			bins = append(bins, acc)
+		} else {
+			bins[len(bins)-1].o += acc.o
+			bins[len(bins)-1].e += acc.e
+		}
+	}
+	obs := make([]int64, len(bins))
+	exp := make([]float64, len(bins))
+	for i, b := range bins {
+		obs[i] = b.o
+		exp[i] = b.e
+	}
+	return obs, exp
+}

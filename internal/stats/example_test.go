@@ -1,0 +1,32 @@
+package stats_test
+
+import (
+	"fmt"
+
+	"amdahlyd/internal/stats"
+)
+
+// Welford accumulation with a parallel merge: the way the Monte-Carlo
+// runner aggregates per-worker results.
+func ExampleWelford_Merge() {
+	var a, b stats.Welford
+	for _, x := range []float64{2, 4, 4, 4} {
+		a.Add(x)
+	}
+	for _, x := range []float64{5, 5, 7, 9} {
+		b.Add(x)
+	}
+	a.Merge(b)
+	fmt.Printf("n = %d, mean = %g, variance = %.4f\n", a.N(), a.Mean(), a.Variance())
+	// Output:
+	// n = 8, mean = 5, variance = 4.5714
+}
+
+func ExampleQuantile() {
+	xs := []float64{9, 1, 8, 2, 7, 3, 6, 4, 5}
+	med, _ := stats.Median(xs)
+	q90, _ := stats.Quantile(xs, 0.9)
+	fmt.Printf("median = %g, q90 = %g\n", med, q90)
+	// Output:
+	// median = 5, q90 = 8.2
+}

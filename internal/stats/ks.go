@@ -1,0 +1,118 @@
+package stats
+
+import (
+	"math"
+	"sort"
+
+	"amdahlyd/internal/xmath"
+)
+
+// KSResult reports the outcome of a one-sample Kolmogorov–Smirnov test.
+type KSResult struct {
+	Statistic float64 // D_n, the sup-norm distance between EDF and CDF
+	PValue    float64 // asymptotic p-value with Stephens' correction
+	N         int
+}
+
+// Reject reports whether the null hypothesis is rejected at level alpha.
+func (k KSResult) Reject(alpha float64) bool { return k.PValue < alpha }
+
+// KSTest runs a one-sample KS test of xs against the continuous CDF.
+// The input is not modified.
+func KSTest(xs []float64, cdf func(float64) float64) (KSResult, error) {
+	n := len(xs)
+	if n == 0 {
+		return KSResult{}, ErrEmpty
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	var d float64
+	for i, x := range sorted {
+		f := cdf(x)
+		dPlus := float64(i+1)/float64(n) - f
+		dMinus := f - float64(i)/float64(n)
+		if dPlus > d {
+			d = dPlus
+		}
+		if dMinus > d {
+			d = dMinus
+		}
+	}
+	p := 1 - xmath.KolmogorovCDF(d, n)
+	return KSResult{Statistic: d, PValue: p, N: n}, nil
+}
+
+// KSTestExponential tests xs against an exponential distribution with the
+// given rate. This is the oracle the failure-injection tests use to verify
+// that simulated inter-arrival times match the model of Section II.
+func KSTestExponential(xs []float64, rate float64) (KSResult, error) {
+	return KSTest(xs, func(x float64) float64 {
+		if x <= 0 {
+			return 0
+		}
+		return -math.Expm1(-rate * x)
+	})
+}
+
+// KSTestUniform01 tests xs against the uniform distribution on [0, 1].
+func KSTestUniform01(xs []float64) (KSResult, error) {
+	return KSTest(xs, func(x float64) float64 { return xmath.Clamp(x, 0, 1) })
+}
+
+// Histogram is a fixed-width binning of observations on [Lo, Hi); values
+// outside the range are counted in Under/Over.
+type Histogram struct {
+	Lo, Hi float64
+	Counts []int64
+	Under  int64
+	Over   int64
+	total  int64
+}
+
+// NewHistogram creates a histogram with the given bounds and bin count.
+func NewHistogram(lo, hi float64, bins int) *Histogram {
+	if bins < 1 || !(hi > lo) {
+		panic("stats: invalid histogram shape")
+	}
+	return &Histogram{Lo: lo, Hi: hi, Counts: make([]int64, bins)}
+}
+
+// Add bins one observation.
+func (h *Histogram) Add(x float64) {
+	h.total++
+	switch {
+	case x < h.Lo:
+		h.Under++
+	case x >= h.Hi:
+		h.Over++
+	default:
+		i := int(float64(len(h.Counts)) * (x - h.Lo) / (h.Hi - h.Lo))
+		if i == len(h.Counts) { // guard FP edge at x == Hi−ulp
+			i--
+		}
+		h.Counts[i]++
+	}
+}
+
+// Total returns the number of observations added, including out-of-range.
+func (h *Histogram) Total() int64 { return h.total }
+
+// Density returns the normalized density of bin i (counts / total / width).
+func (h *Histogram) Density(i int) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	width := (h.Hi - h.Lo) / float64(len(h.Counts))
+	return float64(h.Counts[i]) / float64(h.total) / width
+}
+
+// Mode returns the index of the fullest bin.
+func (h *Histogram) Mode() int {
+	best := 0
+	for i, c := range h.Counts {
+		if c > h.Counts[best] {
+			best = i
+		}
+	}
+	return best
+}

@@ -1,0 +1,315 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"amdahlyd/internal/rng"
+	"amdahlyd/internal/xmath"
+)
+
+func TestWelfordAgainstDirect(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	var w Welford
+	for _, x := range xs {
+		w.Add(x)
+	}
+	if w.N() != int64(len(xs)) {
+		t.Errorf("N = %d", w.N())
+	}
+	if w.Mean() != 5 {
+		t.Errorf("mean = %g, want 5", w.Mean())
+	}
+	// Unbiased variance of this classic dataset is 32/7.
+	if !xmath.EqualWithin(w.Variance(), 32.0/7, 1e-12, 0) {
+		t.Errorf("variance = %g, want %g", w.Variance(), 32.0/7)
+	}
+	if w.Min() != 2 || w.Max() != 9 {
+		t.Errorf("min/max = %g/%g", w.Min(), w.Max())
+	}
+}
+
+func TestWelfordEmptyAndSingle(t *testing.T) {
+	var w Welford
+	if w.Variance() != 0 || w.StdErr() != 0 {
+		t.Error("empty accumulator should have zero spread")
+	}
+	if !math.IsInf(w.CI(0.95), 1) {
+		t.Error("CI of <2 samples should be infinite")
+	}
+	w.Add(3)
+	if w.Mean() != 3 || w.Variance() != 0 {
+		t.Error("single observation stats wrong")
+	}
+}
+
+// Property: merging two accumulators equals accumulating the concatenation.
+func TestWelfordMergeProperty(t *testing.T) {
+	f := func(seed uint64, nA, nB uint8) bool {
+		r := rng.New(seed)
+		a, b, all := Welford{}, Welford{}, Welford{}
+		for i := 0; i < int(nA%50); i++ {
+			x := r.Normal()*10 + 3
+			a.Add(x)
+			all.Add(x)
+		}
+		for i := 0; i < int(nB%50); i++ {
+			x := r.Normal()*2 - 7
+			b.Add(x)
+			all.Add(x)
+		}
+		a.Merge(b)
+		if a.N() != all.N() {
+			return false
+		}
+		if a.N() == 0 {
+			return true
+		}
+		return xmath.EqualWithin(a.Mean(), all.Mean(), 1e-9, 1e-12) &&
+			xmath.EqualWithin(a.Variance(), all.Variance(), 1e-9, 1e-12) &&
+			a.Min() == all.Min() && a.Max() == all.Max()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWelfordMergeEmptySides(t *testing.T) {
+	var a, b Welford
+	b.Add(1)
+	b.Add(3)
+	a.Merge(b) // empty ← nonempty
+	if a.Mean() != 2 || a.N() != 2 {
+		t.Error("merge into empty failed")
+	}
+	var c Welford
+	a.Merge(c) // nonempty ← empty
+	if a.Mean() != 2 || a.N() != 2 {
+		t.Error("merge of empty changed state")
+	}
+}
+
+func TestCICoverage(t *testing.T) {
+	// 95% CI computed from normal samples should cover the true mean
+	// roughly 95% of the time.
+	r := rng.New(123)
+	covered := 0
+	const trials, perTrial = 400, 40
+	for i := 0; i < trials; i++ {
+		var w Welford
+		for j := 0; j < perTrial; j++ {
+			w.Add(r.Normal()*2 + 10)
+		}
+		half := w.CI(0.95)
+		if math.Abs(w.Mean()-10) <= half {
+			covered++
+		}
+	}
+	rate := float64(covered) / trials
+	if rate < 0.91 || rate > 0.99 {
+		t.Errorf("CI coverage = %g, want ≈0.95", rate)
+	}
+}
+
+func TestMeanVariance(t *testing.T) {
+	if _, err := Mean(nil); err == nil {
+		t.Error("Mean of empty should error")
+	}
+	m, err := Mean([]float64{1, 2, 3})
+	if err != nil || m != 2 {
+		t.Errorf("Mean = %g, err %v", m, err)
+	}
+	v, err := Variance([]float64{1, 2, 3})
+	if err != nil || v != 1 {
+		t.Errorf("Variance = %g, err %v", v, err)
+	}
+	if _, err := Variance([]float64{1}); err == nil {
+		t.Error("Variance of 1 sample should error")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{3, 1, 2, 4, 5}
+	med, err := Median(xs)
+	if err != nil || med != 3 {
+		t.Errorf("median = %g", med)
+	}
+	q0, _ := Quantile(xs, 0)
+	q1, _ := Quantile(xs, 1)
+	if q0 != 1 || q1 != 5 {
+		t.Errorf("extreme quantiles %g, %g", q0, q1)
+	}
+	q25, _ := Quantile(xs, 0.25)
+	if q25 != 2 {
+		t.Errorf("q25 = %g, want 2", q25)
+	}
+	// Interpolation between order statistics.
+	q, _ := Quantile([]float64{0, 10}, 0.3)
+	if q != 3 {
+		t.Errorf("interpolated quantile = %g, want 3", q)
+	}
+	if _, err := Quantile(xs, 1.5); err == nil {
+		t.Error("out-of-range level should error")
+	}
+	if _, err := Quantile(nil, 0.5); err == nil {
+		t.Error("empty input should error")
+	}
+	// Input must not be mutated.
+	if xs[0] != 3 {
+		t.Error("Quantile mutated its input")
+	}
+}
+
+func TestBootstrapCI(t *testing.T) {
+	r := rng.New(7)
+	xs := make([]float64, 300)
+	for i := range xs {
+		xs[i] = r.Normal() + 5
+	}
+	lo, hi, err := BootstrapCI(xs, 0.95, 500, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lo >= hi {
+		t.Fatalf("degenerate interval [%g, %g]", lo, hi)
+	}
+	if lo > 5 || hi < 5 {
+		t.Errorf("interval [%g, %g] misses true mean 5", lo, hi)
+	}
+	if hi-lo > 0.5 {
+		t.Errorf("interval [%g, %g] implausibly wide", lo, hi)
+	}
+	if _, _, err := BootstrapCI(nil, 0.95, 100, r); err == nil {
+		t.Error("empty input should error")
+	}
+	if _, _, err := BootstrapCI(xs, 0.95, 5, r); err == nil {
+		t.Error("too few resamples should error")
+	}
+}
+
+func TestKSExponentialAcceptsExponential(t *testing.T) {
+	r := rng.New(99)
+	rate := 1e-6
+	xs := make([]float64, 5000)
+	for i := range xs {
+		xs[i] = r.Exp(rate)
+	}
+	res, err := KSTestExponential(xs, rate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Reject(0.01) {
+		t.Errorf("true exponential rejected: D=%g p=%g", res.Statistic, res.PValue)
+	}
+}
+
+func TestKSExponentialRejectsWrongRate(t *testing.T) {
+	r := rng.New(100)
+	xs := make([]float64, 5000)
+	for i := range xs {
+		xs[i] = r.Exp(1.0)
+	}
+	res, err := KSTestExponential(xs, 2.0) // wrong rate by 2×
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Reject(0.01) {
+		t.Errorf("wrong-rate exponential accepted: D=%g p=%g", res.Statistic, res.PValue)
+	}
+}
+
+func TestKSRejectsNonExponential(t *testing.T) {
+	r := rng.New(101)
+	xs := make([]float64, 5000)
+	for i := range xs {
+		xs[i] = math.Abs(r.Normal()) // half-normal, not exponential
+	}
+	res, err := KSTestExponential(xs, 1/math.Sqrt(2/math.Pi))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Reject(0.01) {
+		t.Error("half-normal accepted as exponential")
+	}
+}
+
+func TestKSUniform(t *testing.T) {
+	r := rng.New(55)
+	xs := make([]float64, 3000)
+	for i := range xs {
+		xs[i] = r.Float64()
+	}
+	res, err := KSTestUniform01(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Reject(0.01) {
+		t.Errorf("uniform sample rejected: p=%g", res.PValue)
+	}
+}
+
+func TestKSEmpty(t *testing.T) {
+	if _, err := KSTest(nil, func(float64) float64 { return 0 }); err == nil {
+		t.Error("empty KS input should error")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	for _, x := range []float64{-1, 0, 1.9, 2, 9.999, 10, 42} {
+		h.Add(x)
+	}
+	if h.Under != 1 || h.Over != 2 {
+		t.Errorf("under/over = %d/%d", h.Under, h.Over)
+	}
+	if h.Counts[0] != 2 { // 0 and 1.9
+		t.Errorf("bin0 = %d", h.Counts[0])
+	}
+	if h.Counts[1] != 1 { // 2
+		t.Errorf("bin1 = %d", h.Counts[1])
+	}
+	if h.Counts[4] != 1 { // 9.999
+		t.Errorf("bin4 = %d", h.Counts[4])
+	}
+	if h.Total() != 7 {
+		t.Errorf("total = %d", h.Total())
+	}
+	if h.Mode() != 0 {
+		t.Errorf("mode = %d", h.Mode())
+	}
+	// Density integrates to in-range fraction.
+	var integral float64
+	width := 2.0
+	for i := range h.Counts {
+		integral += h.Density(i) * width
+	}
+	if !xmath.EqualWithin(integral, 4.0/7, 1e-12, 0) {
+		t.Errorf("density integral = %g, want %g", integral, 4.0/7)
+	}
+}
+
+func TestHistogramPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("invalid histogram should panic")
+		}
+	}()
+	NewHistogram(1, 1, 5)
+}
+
+func TestExponentialHistogramShape(t *testing.T) {
+	// The mode of an exponential histogram must be the first bin.
+	r := rng.New(2)
+	h := NewHistogram(0, 5, 25)
+	for i := 0; i < 200000; i++ {
+		h.Add(r.Exp(1))
+	}
+	if h.Mode() != 0 {
+		t.Errorf("exponential mode in bin %d, want 0", h.Mode())
+	}
+	// Density at 0 should approximate rate = 1.
+	if d := h.Density(0); math.Abs(d-0.9) > 0.1 {
+		t.Errorf("density near 0 = %g, want ≈0.9 (bin-averaged)", d)
+	}
+}

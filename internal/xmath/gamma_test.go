@@ -1,0 +1,103 @@
+package xmath
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRegularizedGammaPKnownValues(t *testing.T) {
+	cases := []struct {
+		a, x, want float64
+	}{
+		// P(1, x) = 1 − e^{−x}.
+		{1, 0.5, 1 - math.Exp(-0.5)},
+		{1, 2, 1 - math.Exp(-2)},
+		// P(1/2, x) = erf(√x).
+		{0.5, 1, math.Erf(1)},
+		{0.5, 4, math.Erf(2)},
+		// Median of Gamma(a) grows like a − 1/3: P(10, 9.669) ≈ 0.5.
+		{10, 9.66871461471, 0.5},
+	}
+	for _, c := range cases {
+		if got := RegularizedGammaP(c.a, c.x); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("P(%g, %g) = %.12g, want %.12g", c.a, c.x, got, c.want)
+		}
+	}
+}
+
+func TestRegularizedGammaComplement(t *testing.T) {
+	for _, a := range []float64{0.3, 1, 2.5, 10, 50} {
+		for _, x := range []float64{0.1, 1, 5, 20, 80} {
+			p := RegularizedGammaP(a, x)
+			q := RegularizedGammaQ(a, x)
+			if math.Abs(p+q-1) > 1e-12 {
+				t.Errorf("P+Q != 1 at a=%g x=%g: %g", a, x, p+q)
+			}
+		}
+	}
+}
+
+func TestRegularizedGammaEdges(t *testing.T) {
+	if RegularizedGammaP(2, 0) != 0 || RegularizedGammaQ(2, 0) != 1 {
+		t.Error("x = 0 boundary wrong")
+	}
+	for _, bad := range [][2]float64{{0, 1}, {-1, 1}, {1, -1}} {
+		if !math.IsNaN(RegularizedGammaP(bad[0], bad[1])) {
+			t.Errorf("P(%g, %g) should be NaN", bad[0], bad[1])
+		}
+		if !math.IsNaN(RegularizedGammaQ(bad[0], bad[1])) {
+			t.Errorf("Q(%g, %g) should be NaN", bad[0], bad[1])
+		}
+	}
+	if got := RegularizedGammaP(3, 1e4); got != 1 {
+		t.Errorf("P saturates at 1, got %g", got)
+	}
+}
+
+// Property: P(a, ·) is non-decreasing in x.
+func TestRegularizedGammaMonotone(t *testing.T) {
+	f := func(aRaw, x1Raw, dxRaw uint16) bool {
+		a := 0.1 + float64(aRaw%500)/10
+		x1 := float64(x1Raw%1000) / 10
+		x2 := x1 + float64(dxRaw%1000)/10
+		return RegularizedGammaP(a, x1) <= RegularizedGammaP(a, x2)+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestChiSquareCDFReferenceValues(t *testing.T) {
+	// Classic critical values: P(χ²_k <= v) for textbook (k, v) pairs.
+	cases := []struct {
+		v    float64
+		k    int
+		want float64
+	}{
+		{3.841, 1, 0.95},
+		{5.991, 2, 0.95},
+		{7.815, 3, 0.95},
+		{18.307, 10, 0.95},
+		{23.209, 10, 0.99},
+		{2.706, 1, 0.90},
+	}
+	for _, c := range cases {
+		if got := ChiSquareCDF(c.v, c.k); math.Abs(got-c.want) > 2e-4 {
+			t.Errorf("χ²CDF(%g; k=%d) = %.5f, want %.3f", c.v, c.k, got, c.want)
+		}
+	}
+	if !math.IsNaN(ChiSquareCDF(1, 0)) {
+		t.Error("k = 0 should be NaN")
+	}
+}
+
+func TestChiSquareCDFAgainstExponential(t *testing.T) {
+	// χ² with 2 degrees of freedom is Exp(1/2).
+	for _, v := range []float64{0.5, 1, 3, 10} {
+		want := 1 - math.Exp(-v/2)
+		if got := ChiSquareCDF(v, 2); math.Abs(got-want) > 1e-12 {
+			t.Errorf("χ²CDF(%g; 2) = %g, want %g", v, got, want)
+		}
+	}
+}

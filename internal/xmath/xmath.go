@@ -1,0 +1,218 @@
+// Package xmath provides numerically careful scalar math helpers shared by
+// the analytical model, the optimizers and the statistics layer.
+//
+// The expected-time formula of Proposition 1 mixes terms such as
+// exp(λC)·(exp(λ(C+T+V))−1) where the exponents span many orders of
+// magnitude: λ is as small as 1e-12 while T can exceed 1e7 seconds. The
+// helpers here keep those evaluations stable (expm1-based forms, log-space
+// products) and supply the special functions the statistics layer needs
+// (inverse normal CDF, Student-t quantiles, the Kolmogorov distribution)
+// without any dependency outside the standard library.
+package xmath
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrDomain is returned by functions whose argument lies outside the
+// mathematical domain of the function.
+var ErrDomain = errors.New("xmath: argument outside domain")
+
+// Expm1Div returns (e^x - 1)/x, evaluated stably for small |x|.
+// The limit at x = 0 is 1.
+func Expm1Div(x float64) float64 {
+	if x == 0 {
+		return 1
+	}
+	// For tiny x, expm1 keeps full precision where exp(x)-1 would not.
+	return math.Expm1(x) / x
+}
+
+// XOverExpm1 returns x/(e^x - 1), the reciprocal of Expm1Div. The limit at
+// x = 0 is 1. This is the factor appearing in the expected lost time
+// E_lost(W) = 1/λ − W/(e^{λW}−1) of Proposition 1.
+func XOverExpm1(x float64) float64 {
+	if x == 0 {
+		return 1
+	}
+	em := math.Expm1(x)
+	if math.IsInf(em, 1) {
+		return 0
+	}
+	return x / em
+}
+
+// ExpectedLost returns E_lost(W) for an exponential failure process with
+// rate lambda observed over an execution of length w: the expected time
+// elapsed before the failure, conditioned on the failure striking within
+// the window. It equals 1/λ − W/(e^{λW}−1) and tends to W/2 as λW → 0.
+func ExpectedLost(lambda, w float64) float64 {
+	if lambda <= 0 || w <= 0 {
+		return w / 2 // λ→0 limit of the closed form
+	}
+	x := lambda * w
+	if x < 1e-8 {
+		// Second-order Taylor expansion: W/2 − λW²/12 + O((λW)³).
+		return w/2 - lambda*w*w/12
+	}
+	return 1/lambda - w/math.Expm1(x)
+}
+
+// Log1pExp returns log(1 + e^x) without overflow for large x.
+func Log1pExp(x float64) float64 {
+	if x > 35 {
+		return x + math.Exp(-x)
+	}
+	if x < -35 {
+		return math.Exp(x)
+	}
+	return math.Log1p(math.Exp(x))
+}
+
+// LogExpm1 returns log(e^x − 1) for x > 0, stable for both tiny and huge x.
+func LogExpm1(x float64) float64 {
+	if x <= 0 {
+		return math.NaN()
+	}
+	if x > 35 {
+		return x // e^x − 1 ≈ e^x
+	}
+	if x < 1e-8 {
+		return math.Log(x) + x/2 // log(x + x²/2 + …)
+	}
+	return math.Log(math.Expm1(x))
+}
+
+// Clamp limits v to the closed interval [lo, hi].
+func Clamp(v, lo, hi float64) float64 {
+	switch {
+	case v < lo:
+		return lo
+	case v > hi:
+		return hi
+	default:
+		return v
+	}
+}
+
+// Lerp linearly interpolates between a and b with parameter t in [0, 1].
+func Lerp(a, b, t float64) float64 { return a + (b-a)*t }
+
+// Horner evaluates the polynomial with the given coefficients (constant
+// term first) at x using Horner's rule.
+func Horner(x float64, coeffs ...float64) float64 {
+	var acc float64
+	for i := len(coeffs) - 1; i >= 0; i-- {
+		acc = acc*x + coeffs[i]
+	}
+	return acc
+}
+
+// Sum is a compensated (Neumaier) accumulator. The zero value is ready to
+// use. It keeps full double precision when summing many values of mixed
+// magnitude, as happens when accumulating millions of simulated pattern
+// durations.
+type Sum struct {
+	sum float64
+	c   float64 // running compensation
+}
+
+// Add accumulates v.
+func (s *Sum) Add(v float64) {
+	t := s.sum + v
+	if math.Abs(s.sum) >= math.Abs(v) {
+		s.c += (s.sum - t) + v
+	} else {
+		s.c += (v - t) + s.sum
+	}
+	s.sum = t
+}
+
+// Value returns the compensated total.
+func (s *Sum) Value() float64 { return s.sum + s.c }
+
+// Reset clears the accumulator.
+func (s *Sum) Reset() { s.sum, s.c = 0, 0 }
+
+// SumSlice returns the compensated sum of xs.
+func SumSlice(xs []float64) float64 {
+	var s Sum
+	for _, x := range xs {
+		s.Add(x)
+	}
+	return s.Value()
+}
+
+// EqualWithin reports whether a and b agree within relative tolerance rel
+// or absolute tolerance abs (whichever is looser). NaNs are never equal.
+func EqualWithin(a, b, rel, abs float64) bool {
+	if math.IsNaN(a) || math.IsNaN(b) {
+		return false
+	}
+	if a == b {
+		return true
+	}
+	diff := math.Abs(a - b)
+	if diff <= abs {
+		return true
+	}
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	return diff <= rel*scale
+}
+
+// RelDiff returns |a−b| / max(|a|, |b|), or 0 when both are zero.
+func RelDiff(a, b float64) float64 {
+	if a == b {
+		return 0
+	}
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	if scale == 0 {
+		return 0
+	}
+	return math.Abs(a-b) / scale
+}
+
+// Linspace returns n points evenly spaced on [lo, hi] inclusive. n must be
+// at least 2.
+func Linspace(lo, hi float64, n int) []float64 {
+	if n < 2 {
+		panic("xmath: Linspace needs n >= 2")
+	}
+	out := make([]float64, n)
+	step := (hi - lo) / float64(n-1)
+	for i := range out {
+		out[i] = lo + float64(i)*step
+	}
+	out[n-1] = hi // avoid accumulated rounding at the endpoint
+	return out
+}
+
+// Logspace returns n points evenly spaced in log scale on [lo, hi]
+// inclusive. Both bounds must be positive and n at least 2.
+func Logspace(lo, hi float64, n int) []float64 {
+	if lo <= 0 || hi <= 0 {
+		panic("xmath: Logspace needs positive bounds")
+	}
+	pts := Linspace(math.Log(lo), math.Log(hi), n)
+	for i, p := range pts {
+		pts[i] = math.Exp(p)
+	}
+	pts[0], pts[n-1] = lo, hi
+	return pts
+}
+
+// GeometricMean returns the geometric mean of xs (all positive).
+func GeometricMean(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrDomain
+	}
+	var s Sum
+	for _, x := range xs {
+		if x <= 0 {
+			return 0, ErrDomain
+		}
+		s.Add(math.Log(x))
+	}
+	return math.Exp(s.Value() / float64(len(xs))), nil
+}

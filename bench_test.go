@@ -111,6 +111,47 @@ func BenchmarkExactPatternTime(b *testing.B) {
 	_ = sink
 }
 
+// BenchmarkFreeze measures compiling a model at a fixed P — the once-per-
+// probe cost the frozen engine pays to make every subsequent evaluation
+// cheap.
+func BenchmarkFreeze(b *testing.B) {
+	m := heraModel(b, costmodel.Scenario1, 0.1)
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		fz := m.Freeze(512)
+		sink += fz.ProfileOverhead()
+	}
+	_ = sink
+}
+
+// BenchmarkFrozenOverhead measures the compiled kernel: one evaluation of
+// the exact overhead at a pre-frozen P, the innermost objective of the
+// nested (T, P) optimizer.
+func BenchmarkFrozenOverhead(b *testing.B) {
+	m := heraModel(b, costmodel.Scenario1, 0.1)
+	fz := m.Freeze(512)
+	var sink float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sink += fz.Overhead(6000)
+	}
+	_ = sink
+}
+
+// BenchmarkFrozenOverheadLog measures the same kernel in the u = log T
+// form the grid-and-golden period minimizer actually drives.
+func BenchmarkFrozenOverheadLog(b *testing.B) {
+	m := heraModel(b, costmodel.Scenario1, 0.1)
+	fz := m.Freeze(512)
+	var sink float64
+	u := math.Log(6000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sink += fz.OverheadLog(u)
+	}
+	_ = sink
+}
+
 // BenchmarkFirstOrderSolve measures the closed-form Theorem 2/3 solver.
 func BenchmarkFirstOrderSolve(b *testing.B) {
 	m := heraModel(b, costmodel.Scenario1, 0.1)

@@ -19,6 +19,23 @@
 //   - substrates: speedup, costmodel, platform, failures, rng, stats,
 //     xmath, report.
 //
+// # Evaluator architecture: Model vs Frozen
+//
+// internal/core deliberately exposes the paper's formulas twice. Model is
+// the specification: every method takes (t, p) and derives the platform
+// rates, resilience costs and exponentials from first principles on each
+// call — use it for one-off evaluations, validation and readable code.
+// core.Frozen is the compiled kernel: Model.Freeze(p) hoists everything
+// that is invariant for a fixed processor count (λf_P, λs_P, C_P, R_P,
+// V_P, D, 1/λf + D, e^{λf·C}, e^{λf·R}, H(P), the Theorem 1 constants and
+// the λf→0 branch decision) so that PatternTime/Overhead cost two expm1
+// calls and a handful of multiplies, allocation-free. The two paths are
+// bit-exact by construction — Model methods are thin wrappers over a
+// one-shot Freeze, and property tests pin the equivalence — so use Frozen
+// in any loop that holds P fixed (the period minimizer probes one P
+// thousands of times; the Monte-Carlo runner prices one (T, P) over
+// hundreds of runs) and Model everywhere else.
+//
 // Executables: cmd/amdahl-opt (optimal patterns), cmd/amdahl-sim
 // (Monte-Carlo pricing of one pattern), cmd/amdahl-exp (regenerate the
 // paper's figures plus the profile and baseline extension studies), and

@@ -1,0 +1,3 @@
+module amdahlyd
+
+go 1.24

@@ -1,0 +1,223 @@
+package core
+
+import "math"
+
+// Frozen is a Model compiled at a fixed processor count P: every
+// loop-invariant quantity of Proposition 1 and of the first-order
+// expansion — the platform rates λf_P and λs_P, the resilience costs C_P,
+// R_P, V_P, the downtime D, the renewal constant k = 1/λf + D, the
+// exponentials e^{λf·C} and e^{λf·R}, the error-free overhead H(P) and the
+// Theorem 1 constants — is evaluated once at construction. The per-call
+// cost of PatternTime and Overhead is then two expm1 calls and a handful
+// of multiplies, with zero allocations, which is what the inner
+// T-minimization of the nested (T, P) optimizer and the Monte-Carlo
+// pricing loops actually pay.
+//
+// Frozen is the compiled-kernel counterpart of Model (the specification):
+// use Model for one-off evaluations and validation, Freeze once per P for
+// any loop that holds P fixed. All methods reproduce the corresponding
+// Model methods bit-exactly (the arithmetic is performed in the same
+// order on the same intermediate values).
+type Frozen struct {
+	// P is the processor count the evaluator was compiled for (clamped
+	// to 1 like Model.Rates does).
+	P float64
+	// LambdaF and LambdaS are the platform-level rates λf_P and λs_P.
+	LambdaF, LambdaS float64
+	// C, R, V are C_P, R_P, V_P; D is the downtime.
+	C, R, V, D float64
+
+	// neverLimit records that the λf→0 limit branch is unreachable for
+	// every t > 0: the branch condition λf·(C+R+V+t+D) < 1e-13 is
+	// monotone non-decreasing in t (rounded multiplication and addition
+	// by non-negative values preserve order), so when it already fails at
+	// t = 0 the per-call test can be skipped without changing any result.
+	neverLimit bool
+
+	crv     float64 // C + R + V, the λf→0 branch test constant
+	k       float64 // 1/λf + D (+Inf when λf = 0; the branch never uses it)
+	expC    float64 // e^{λf·C}
+	expR    float64 // e^{λf·R}
+	hP      float64 // H(P) = Profile.Overhead(P)
+	cv      float64 // C + V, the Theorem 1 numerator
+	effRate float64 // λf/2 + λs, the Theorem 1 denominator
+	// First-order expansion constants (FirstOrderPatternTime).
+	foVCRD   float64 // V + C + R + D
+	foVR     float64 // V + R
+	foConstC float64 // λf·C·(C/2 + R + V + D)
+	foConstV float64 // λf·V·(V + R + D)
+}
+
+// Freeze compiles the model at processor count p. It does not validate;
+// callers that accept untrusted models should call Validate first.
+func (m Model) Freeze(p float64) Frozen {
+	if p < 1 {
+		p = 1
+	}
+	lf, ls := m.Rates(p)
+	c := m.Res.Checkpoint.At(p)
+	r := m.Res.Recovery.At(p)
+	v := m.Res.Verification.At(p)
+	d := m.Res.Downtime
+	crv := c + r + v
+	return Frozen{
+		P:       p,
+		LambdaF: lf,
+		LambdaS: ls,
+		C:       c,
+		R:       r,
+		V:       v,
+		D:       d,
+
+		neverLimit: !(lf*(crv+d) < 1e-13),
+
+		crv:     crv,
+		k:       1/lf + d,
+		expC:    math.Exp(lf * c),
+		expR:    math.Exp(lf * r),
+		hP:      m.Profile.Overhead(p),
+		cv:      c + v,
+		effRate: lf/2 + ls,
+
+		foVCRD:   v + c + r + d,
+		foVR:     v + r,
+		foConstC: lf * c * (c/2 + r + v + d),
+		foConstV: lf * v * (v + r + d),
+	}
+}
+
+// PatternTime evaluates Proposition 1 (Equation (2)) at the compiled P,
+// bit-exactly equal to Model.ExactPatternTime(t, P).
+func (f *Frozen) PatternTime(t float64) float64 {
+	if t <= 0 {
+		return math.Inf(1)
+	}
+	lsT := f.LambdaS * t
+	// λf so small that λf·(everything) is far below the cancellation
+	// floor: use the exact limit instead of the 0/0 form.
+	if !f.neverLimit && f.LambdaF*(f.crv+t+f.D) < 1e-13 {
+		expLsT := math.Exp(lsT)
+		return f.C + (t+f.V)*expLsT + math.Expm1(lsT)*f.R
+	}
+	// e^{λf(C+T+V)+λsT} − 1, kept in expm1 form for small exponents.
+	grow := math.Expm1(f.LambdaF*(f.C+t+f.V) + lsT)
+	shrink := math.Expm1(lsT) // e^{λsT} − 1 >= 0
+	e := f.k * (f.expR*grow - f.expC*shrink)
+	if math.IsNaN(e) {
+		return math.Inf(1)
+	}
+	return e
+}
+
+// Overhead returns H(T, P) = E(PATTERN)/T · H(P) at the compiled P,
+// bit-exactly equal to Model.Overhead(t, P).
+//
+// PatternTime is manually inlined here: this is the innermost objective of
+// the nested (T, P) optimizer and the extra call frame plus the +Inf
+// re-check are measurable at that call rate. With t and H(P) finite and
+// positive, e/t·H(P) is +Inf exactly when e is, so the overflow guard of
+// the two-step formulation is redundant.
+func (f *Frozen) Overhead(t float64) float64 {
+	if t <= 0 {
+		return math.Inf(1)
+	}
+	lsT := f.LambdaS * t
+	if !f.neverLimit && f.LambdaF*(f.crv+t+f.D) < 1e-13 {
+		expLsT := math.Exp(lsT)
+		e := f.C + (t+f.V)*expLsT + math.Expm1(lsT)*f.R
+		return e / t * f.hP
+	}
+	grow := math.Expm1(f.LambdaF*(f.C+t+f.V) + lsT)
+	shrink := math.Expm1(lsT)
+	e := f.k * (f.expR*grow - f.expC*shrink)
+	if math.IsNaN(e) {
+		return math.Inf(1)
+	}
+	return e / t * f.hP
+}
+
+// OverheadLog returns Overhead(e^u): the form the log-grid period
+// minimizer consumes. The transform and the kernel share one stack frame
+// (the kernel body is repeated rather than called — at the optimizer's
+// call rate the extra frame is measurable), and the period t = e^u is
+// always positive, so only the overflow guards remain. Bit-exactly equal
+// to Overhead(math.Exp(u)).
+func (f *Frozen) OverheadLog(u float64) float64 {
+	t := math.Exp(u)
+	lsT := f.LambdaS * t
+	if !f.neverLimit && f.LambdaF*(f.crv+t+f.D) < 1e-13 {
+		expLsT := math.Exp(lsT)
+		e := f.C + (t+f.V)*expLsT + math.Expm1(lsT)*f.R
+		return e / t * f.hP
+	}
+	grow := math.Expm1(f.LambdaF*(f.C+t+f.V) + lsT)
+	shrink := math.Expm1(lsT)
+	e := f.k * (f.expR*grow - f.expC*shrink)
+	if math.IsNaN(e) {
+		return math.Inf(1)
+	}
+	return e / t * f.hP
+}
+
+// FirstOrderPatternTime evaluates the second-order Taylor expansion of
+// E(PATTERN) at the compiled P, bit-exactly equal to
+// Model.FirstOrderPatternTime(t, P).
+func (f *Frozen) FirstOrderPatternTime(t float64) float64 {
+	if t <= 0 {
+		return math.Inf(1)
+	}
+	return t + f.V + f.C +
+		f.effRate*t*t +
+		f.LambdaF*t*f.foVCRD +
+		f.LambdaS*t*f.foVR +
+		f.foConstC +
+		f.foConstV
+}
+
+// OverflowsBeyond reports that Overhead(e^u) is +Inf and provably +Inf
+// for every period t ≥ e^u. The fail-stop exponent λf·(C+t+V) + λs·t is
+// monotone non-decreasing in t even under rounding (every operation is a
+// correctly-rounded add or multiply by a non-negative constant), and once
+// Expm1 overflows the pattern time is +Inf whatever the silent-error term
+// does (k, e^{λf·R} > 0, and the Inf−Inf case is mapped to +Inf too). The
+// period minimizer uses this to reject an entire infeasible grid after
+// probing only its low edge.
+func (f *Frozen) OverflowsBeyond(u float64) bool {
+	if !f.neverLimit {
+		return false // λf→0 regime: the limit branch never overflows this way
+	}
+	t := math.Exp(u)
+	return math.IsInf(math.Expm1(f.LambdaF*(f.C+t+f.V)+f.LambdaS*t), 1)
+}
+
+// OptimalPeriod returns Theorem 1's first-order optimal period T*_P at
+// the compiled P, bit-exactly equal to Model.OptimalPeriodFixedP(P).
+func (f *Frozen) OptimalPeriod() float64 {
+	if f.effRate <= 0 {
+		return math.Inf(1) // no errors: checkpoint never
+	}
+	return math.Sqrt(f.cv / f.effRate)
+}
+
+// OverheadAtOptimalPeriod returns Theorem 1's overhead at T*_P,
+// bit-exactly equal to Model.OverheadAtOptimalPeriod(P).
+func (f *Frozen) OverheadAtOptimalPeriod() float64 {
+	return f.hP * (1 + 2*math.Sqrt(f.effRate*f.cv))
+}
+
+// ErrorFreeOverhead returns H(T, P) with both error rates forced to zero,
+// bit-exactly equal to Model.ErrorFreeOverhead(t, P).
+func (f *Frozen) ErrorFreeOverhead(t float64) float64 {
+	if t <= 0 {
+		return math.Inf(1)
+	}
+	return (t + f.cv) / t * f.hP
+}
+
+// ProfileOverhead returns the cached error-free execution overhead H(P).
+func (f *Frozen) ProfileOverhead() float64 { return f.hP }
+
+// Speedup returns the expected pattern speedup S(T, P) = 1/H(T, P).
+func (f *Frozen) Speedup(t float64) float64 {
+	return 1 / f.Overhead(t)
+}

@@ -103,35 +103,15 @@ func (m Model) EffectiveRate(p float64) float64 {
 // used when the fail-stop exponents underflow first-order resolution.
 // The result is +Inf when the exponentials overflow, which makes the
 // function directly usable as a minimization objective.
+//
+// This is a thin wrapper over Freeze: hot loops that hold P fixed should
+// call Freeze(p) once and evaluate Frozen.PatternTime per period instead.
 func (m Model) ExactPatternTime(t, p float64) float64 {
 	if t <= 0 || p < 1 {
 		return math.Inf(1)
 	}
-	lf, ls := m.Rates(p)
-	c := m.Res.Checkpoint.At(p)
-	r := m.Res.Recovery.At(p)
-	v := m.Res.Verification.At(p)
-	d := m.Res.Downtime
-
-	lsT := ls * t
-	// λf so small that λf·(everything) is far below the cancellation
-	// floor: use the exact limit instead of the 0/0 form.
-	if lf*(c+r+v+t+d) < 1e-13 {
-		expLsT := math.Exp(lsT)
-		return c + (t+v)*expLsT + math.Expm1(lsT)*r
-	}
-
-	k := 1/lf + d
-	expC := math.Exp(lf * c)
-	expR := math.Exp(lf * r)
-	// e^{λf(C+T+V)+λsT} − 1, kept in expm1 form for small exponents.
-	grow := math.Expm1(lf*(c+t+v) + lsT)
-	shrink := math.Expm1(lsT) // e^{λsT} − 1 >= 0
-	e := k * (expR*grow - expC*shrink)
-	if math.IsNaN(e) {
-		return math.Inf(1)
-	}
-	return e
+	f := m.Freeze(p)
+	return f.PatternTime(t)
 }
 
 // FirstOrderPatternTime evaluates the second-order Taylor expansion of
@@ -143,17 +123,8 @@ func (m Model) FirstOrderPatternTime(t, p float64) float64 {
 	if t <= 0 || p < 1 {
 		return math.Inf(1)
 	}
-	lf, ls := m.Rates(p)
-	c := m.Res.Checkpoint.At(p)
-	r := m.Res.Recovery.At(p)
-	v := m.Res.Verification.At(p)
-	d := m.Res.Downtime
-	return t + v + c +
-		(lf/2+ls)*t*t +
-		lf*t*(v+c+r+d) +
-		ls*t*(v+r) +
-		lf*c*(c/2+r+v+d) +
-		lf*v*(v+r+d)
+	f := m.Freeze(p)
+	return f.FirstOrderPatternTime(t)
 }
 
 // PatternWork returns the amount of sequential-equivalent work a pattern
@@ -167,11 +138,11 @@ func (m Model) PatternWork(t, p float64) float64 {
 // wall-clock time per second of sequential work. Minimizing it minimizes
 // the expected application makespan.
 func (m Model) Overhead(t, p float64) float64 {
-	e := m.ExactPatternTime(t, p)
-	if math.IsInf(e, 1) {
-		return e
+	if t <= 0 || p < 1 {
+		return math.Inf(1)
 	}
-	return e / t * m.Profile.Overhead(p)
+	f := m.Freeze(p)
+	return f.Overhead(t)
 }
 
 // Speedup returns the expected pattern speedup S(T, P) = T·S(P)/E.

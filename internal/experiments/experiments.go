@@ -33,11 +33,35 @@ type Config struct {
 	Seed uint64
 	// Workers bounds experiment-level parallelism (default GOMAXPROCS).
 	Workers int
-	// Downtime is D in seconds (default 3600, Section IV-A).
+	// Downtime is D in seconds (default 3600, Section IV-A). The zero
+	// value selects the default; an actual zero-downtime study must set
+	// DowntimeSet (a plain Downtime: 0 cannot be told apart from "not
+	// configured").
 	Downtime float64
+	// DowntimeSet marks Downtime as explicitly configured, so
+	// Downtime: 0 means a zero-downtime study rather than the default.
+	DowntimeSet bool
 	// Alpha is the sequential fraction for the α-fixed figures
-	// (default 0.1).
+	// (default 0.1). The zero value selects the default; an α = 0
+	// (perfectly parallel) study must set AlphaSet.
 	Alpha float64
+	// AlphaSet marks Alpha as explicitly configured, so Alpha: 0 selects
+	// the perfectly parallel profile rather than the default 0.1.
+	AlphaSet bool
+}
+
+// WithDowntime returns a copy with the downtime explicitly configured;
+// unlike assigning Downtime directly, it makes a zero value stick.
+func (c Config) WithDowntime(d float64) Config {
+	c.Downtime, c.DowntimeSet = d, true
+	return c
+}
+
+// WithAlpha returns a copy with the sequential fraction explicitly
+// configured; unlike assigning Alpha directly, it makes α = 0 stick.
+func (c Config) WithAlpha(alpha float64) Config {
+	c.Alpha, c.AlphaSet = alpha, true
+	return c
 }
 
 func (c Config) withDefaults() Config {
@@ -50,10 +74,10 @@ func (c Config) withDefaults() Config {
 	if c.Workers == 0 {
 		c.Workers = runtime.GOMAXPROCS(0)
 	}
-	if c.Downtime == 0 {
+	if c.Downtime == 0 && !c.DowntimeSet {
 		c.Downtime = 3600
 	}
-	if c.Alpha == 0 {
+	if c.Alpha == 0 && !c.AlphaSet {
 		c.Alpha = 0.1
 	}
 	return c

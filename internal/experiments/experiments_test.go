@@ -61,6 +61,46 @@ func TestQuickConfig(t *testing.T) {
 	}
 }
 
+// TestConfigZeroValueSentinels is the regression test for the zero-value
+// footgun: Downtime: 0 and Alpha: 0 used to be silently rewritten to the
+// paper defaults, making zero-downtime and perfectly-parallel studies
+// impossible to configure.
+func TestConfigZeroValueSentinels(t *testing.T) {
+	zeroD := Config{DowntimeSet: true}.withDefaults()
+	if zeroD.Downtime != 0 {
+		t.Errorf("explicit zero downtime rewritten to %g", zeroD.Downtime)
+	}
+	zeroA := Config{AlphaSet: true}.withDefaults()
+	if zeroA.Alpha != 0 {
+		t.Errorf("explicit α = 0 rewritten to %g", zeroA.Alpha)
+	}
+
+	viaWith := Quick().WithDowntime(0).WithAlpha(0).withDefaults()
+	if viaWith.Downtime != 0 || viaWith.Alpha != 0 {
+		t.Errorf("WithDowntime(0)/WithAlpha(0) did not stick: %+v", viaWith)
+	}
+	if nonZero := Quick().WithDowntime(7200).withDefaults(); nonZero.Downtime != 7200 {
+		t.Errorf("WithDowntime(7200) = %g", nonZero.Downtime)
+	}
+
+	// The unset path keeps the paper defaults.
+	def := Config{}.withDefaults()
+	if def.Downtime != 3600 || def.Alpha != 0.1 {
+		t.Errorf("unset defaults changed: %+v", def)
+	}
+
+	// End to end: an α = 0 config must reach BuildModel as the perfectly
+	// parallel profile, not as Amdahl(0.1).
+	cfg := Quick().WithAlpha(0).withDefaults()
+	m, err := BuildModel(platform.Hera(), costmodel.Scenario1, cfg.Alpha, cfg.Downtime)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := m.Profile.(speedup.PerfectlyParallel); !ok {
+		t.Errorf("α = 0 config selected %s, want perfectly-parallel", m.Profile.Name())
+	}
+}
+
 func TestParallelFor(t *testing.T) {
 	out := make([]int, 100)
 	err := parallelFor(100, 8, func(i int) error {

@@ -1,0 +1,66 @@
+package optimize
+
+import (
+	"testing"
+
+	"amdahlyd/internal/core"
+	"amdahlyd/internal/costmodel"
+	"amdahlyd/internal/platform"
+	"amdahlyd/internal/speedup"
+)
+
+// The (T*, P*, H) solutions of the pre-frozen-engine optimizer on the four
+// Table II platforms at α = 0.1, D = 3600 s, printed at full float64
+// precision. The frozen evaluation engine, the probe memo, the u-space
+// refinement and the infeasible-grid rejection are all required to
+// reproduce these bit-for-bit: any divergence means the "compiled kernel"
+// no longer evaluates Proposition 1 exactly like the reference Model path.
+var numericalOptimumGoldens = []struct {
+	platform string
+	scenario costmodel.Scenario
+	t, p, h  float64
+}{
+	{"Hera", costmodel.Scenario1, 6554.8578901077153, 207.21388658728677, 0.10903714666640313},
+	{"Hera", costmodel.Scenario3, 9241.4855645954667, 237.22450671815807, 0.11133239179670219},
+	{"Hera", costmodel.Scenario5, 4558.0799564505351, 707.37065741259676, 0.11288296011137561},
+	{"Atlas", costmodel.Scenario1, 5411.2982600439909, 227.9977671225889, 0.10816583383988657},
+	{"Atlas", costmodel.Scenario3, 11191.70861925268, 219.17951596634396, 0.1126304637679427},
+	{"Atlas", costmodel.Scenario5, 3978.9729204300734, 1305.9727281995026, 0.11959376429642787},
+	{"Coastal", costmodel.Scenario1, 15560.027115370243, 360.45500501779782, 0.10505791825469991},
+	{"Coastal", costmodel.Scenario3, 38614.807730708606, 321.20823398591079, 0.10852991054057874},
+	{"Coastal", costmodel.Scenario5, 12708.508623350788, 2415.0327963951645, 0.11529437228572942},
+	{"CoastalSSD", costmodel.Scenario1, 29074.375223898573, 287.6811835089469, 0.10696421761265978},
+	{"CoastalSSD", costmodel.Scenario3, 71506.240019118137, 235.50668133997331, 0.11175114020514071},
+	{"CoastalSSD", costmodel.Scenario5, 34900.236013341186, 1357.9077291396209, 0.12466478759098573},
+}
+
+// TestOptimalPatternBitIdentical verifies OptimalPattern returns
+// bit-identical solutions to the pre-refactor optimizer on all four
+// Table II platforms.
+func TestOptimalPatternBitIdentical(t *testing.T) {
+	for _, g := range numericalOptimumGoldens {
+		pl, err := platform.Lookup(g.platform)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := pl.Resilience(g.scenario, 3600)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := core.Model{
+			LambdaInd:    pl.LambdaInd,
+			FailStopFrac: pl.FailStopFraction,
+			SilentFrac:   pl.SilentFraction,
+			Res:          res,
+			Profile:      speedup.Amdahl{Alpha: 0.1},
+		}
+		sol, err := OptimalPattern(m, PatternOptions{})
+		if err != nil {
+			t.Fatalf("%s/%v: %v", g.platform, g.scenario, err)
+		}
+		if sol.T != g.t || sol.P != g.p || sol.Overhead != g.h {
+			t.Errorf("%s/%v drifted from the pre-refactor optimizer:\n got  T=%.17g P=%.17g H=%.17g\n want T=%.17g P=%.17g H=%.17g",
+				g.platform, g.scenario, sol.T, sol.P, sol.Overhead, g.t, g.p, g.h)
+		}
+	}
+}

@@ -183,25 +183,30 @@ func GridRefine(f Func, lo, hi float64, points int, logAxis bool, tol float64) (
 		return Result{}, errors.New("optimize: log-axis grid needs lo > 0")
 	}
 
-	// The transform maps grid coordinates to objective coordinates.
-	fromU := func(u float64) float64 { return u }
-	toU := func(x float64) float64 { return x }
+	// In log-axis mode the grid lives in u = log x coordinates and the
+	// exp transform is fused into a single objective wrapper; otherwise
+	// the objective is probed directly, with no transform indirection.
+	obj := f
+	uLo, uHi := lo, hi
 	if logAxis {
-		fromU = math.Exp
-		toU = math.Log
+		obj = func(u float64) float64 { return f(math.Exp(u)) }
+		uLo, uHi = math.Log(lo), math.Log(hi)
 	}
-	uLo, uHi := toU(lo), toU(hi)
 	step := (uHi - uLo) / float64(points-1)
 
-	bestI, bestF := 0, math.Inf(1)
-	us := make([]float64, points)
-	for i := 0; i < points; i++ {
-		u := uLo + float64(i)*step
+	// gridPoint recomputes the i-th grid coordinate instead of storing the
+	// whole grid: only the best point and its two neighbours are ever
+	// needed again, which keeps the scan allocation-free.
+	gridPoint := func(i int) float64 {
 		if i == points-1 {
-			u = uHi
+			return uHi
 		}
-		us[i] = u
-		if v := f(fromU(u)); v < bestF {
+		return uLo + float64(i)*step
+	}
+
+	bestI, bestF := 0, math.Inf(1)
+	for i := 0; i < points; i++ {
+		if v := obj(gridPoint(i)); v < bestF {
 			bestI, bestF = i, v
 		}
 	}
@@ -210,14 +215,16 @@ func GridRefine(f Func, lo, hi float64, points int, logAxis bool, tol float64) (
 	}
 
 	// Refine within the bracket around the best grid point.
-	a := us[max(bestI-1, 0)]
-	b := us[min(bestI+1, points-1)]
-	res := Golden(func(u float64) float64 { return f(fromU(u)) }, a, b, tol, 0)
+	a := gridPoint(max(bestI-1, 0))
+	b := gridPoint(min(bestI+1, points-1))
+	res := Golden(obj, a, b, tol, 0)
 	res.Evals += points
-	res.X = fromU(res.X)
 	// The grid best might still beat the refined point on plateaus.
 	if bestF < res.F {
-		res.X, res.F = fromU(us[bestI]), bestF
+		res.X, res.F = gridPoint(bestI), bestF
+	}
+	if logAxis {
+		res.X = math.Exp(res.X)
 	}
 	return res, nil
 }

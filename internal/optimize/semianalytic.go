@@ -25,7 +25,19 @@ func SemiAnalyticOptimum(m core.Model, opts PatternOptions) (core.Solution, erro
 	if err := m.Validate(); err != nil {
 		return core.Solution{}, err
 	}
-	obj := func(p float64) float64 { return m.OverheadAtOptimalPeriod(p) }
+	// The Theorem 1 objective is closed-form but still pays a cost-model
+	// and profile evaluation per probe; the memo keeps the grid scan and
+	// the golden refinement from re-pricing the same P (bracket endpoints
+	// and the final reported optimum are always revisited).
+	memo := make(map[float64]float64, opts.GridP+8)
+	obj := func(p float64) float64 {
+		if h, ok := memo[p]; ok {
+			return h
+		}
+		h := m.OverheadAtOptimalPeriod(p)
+		memo[p] = h
+		return h
+	}
 	res, err := GridRefine(obj, opts.PMin, opts.PMax, opts.GridP, true, opts.Tol)
 	if err != nil {
 		return core.Solution{}, errors.New("optimize: semi-analytic objective infeasible")

@@ -29,6 +29,10 @@ type Machine struct {
 	procs     int
 	lambdaInd float64
 	failFrac  float64
+	// invLambdaInd caches 1/λ_ind so every per-processor arrival draw is
+	// one log and one multiply (0 when λ_ind = 0, in which case no error
+	// events are ever scheduled).
+	invLambdaInd float64
 
 	t          float64
 	checkpoint float64
@@ -52,7 +56,7 @@ func NewMachine(m core.Model, t float64, procs int) (*Machine, error) {
 		m.Res.Recovery.At(p)) > maxSimIters {
 		return nil, ErrErrorPressure
 	}
-	return &Machine{
+	mach := &Machine{
 		procs:      procs,
 		lambdaInd:  m.LambdaInd,
 		failFrac:   m.FailStopFrac,
@@ -61,7 +65,11 @@ func NewMachine(m core.Model, t float64, procs int) (*Machine, error) {
 		recovery:   m.Res.Recovery.At(p),
 		verify:     m.Res.Verification.At(p),
 		downtime:   m.Res.Downtime,
-	}, nil
+	}
+	if mach.lambdaInd > 0 {
+		mach.invLambdaInd = 1 / mach.lambdaInd
+	}
+	return mach, nil
 }
 
 // machPhase enumerates the job states of the machine-level state machine.
@@ -108,7 +116,7 @@ func (mc *Machine) SimulateRun(patterns int, r *rng.Rand) (PatternStats, error) 
 		if mc.lambdaInd == 0 {
 			return
 		}
-		delay := extraDelay + r.Exp(mc.lambdaInd)
+		delay := extraDelay + r.ExpInv(mc.invLambdaInd)
 		errEvents[proc] = eng.Schedule(delay, func() {
 			if done {
 				return

@@ -23,6 +23,12 @@ type Protocol struct {
 	downtime   float64
 	lambdaF    float64
 	lambdaS    float64
+	// Sampling constants hoisted out of the per-pattern loop: the
+	// inversion constant 1/λf (exponential draws become one log and one
+	// multiply) and the per-segment silent-strike probability
+	// 1 − e^{−λs·T}, which is pattern-invariant.
+	invLambdaF float64
+	pSilent    float64
 }
 
 // ErrErrorPressure is returned when the requested pattern sits so deep in
@@ -53,23 +59,40 @@ func NewProtocol(m core.Model, t, p float64) (*Protocol, error) {
 	if err := m.Validate(); err != nil {
 		return nil, err
 	}
-	if t <= 0 || p < 1 {
+	if p < 1 {
 		return nil, fmt.Errorf("sim: invalid pattern T=%g, P=%g", t, p)
 	}
-	lf, ls := m.Rates(p)
-	if expectedIters(lf, ls, t, m.Res.Verification.At(p), m.Res.Checkpoint.At(p),
-		m.Res.Recovery.At(p)) > maxSimIters {
+	fz := m.Freeze(p)
+	return NewProtocolFrozen(&fz, t)
+}
+
+// NewProtocolFrozen prepares a simulator for PATTERN(T, fz.P) from a
+// compiled evaluator, skipping model validation (the caller vouches for
+// the Frozen). This is the constructor the Monte-Carlo runner uses so the
+// rates and resilience costs are derived exactly once per (T, P).
+func NewProtocolFrozen(fz *core.Frozen, t float64) (*Protocol, error) {
+	if t <= 0 {
+		return nil, fmt.Errorf("sim: invalid pattern T=%g, P=%g", t, fz.P)
+	}
+	if expectedIters(fz.LambdaF, fz.LambdaS, t, fz.V, fz.C, fz.R) > maxSimIters {
 		return nil, ErrErrorPressure
 	}
-	return &Protocol{
-		T: t, P: p,
-		checkpoint: m.Res.Checkpoint.At(p),
-		recovery:   m.Res.Recovery.At(p),
-		verify:     m.Res.Verification.At(p),
-		downtime:   m.Res.Downtime,
-		lambdaF:    lf,
-		lambdaS:    ls,
-	}, nil
+	pr := &Protocol{
+		T: t, P: fz.P,
+		checkpoint: fz.C,
+		recovery:   fz.R,
+		verify:     fz.V,
+		downtime:   fz.D,
+		lambdaF:    fz.LambdaF,
+		lambdaS:    fz.LambdaS,
+	}
+	if pr.lambdaF > 0 {
+		pr.invLambdaF = 1 / pr.lambdaF
+	}
+	if pr.lambdaS > 0 {
+		pr.pSilent = -math.Expm1(-pr.lambdaS * pr.T)
+	}
+	return pr, nil
 }
 
 // PatternStats aggregates event counts over simulated patterns.
@@ -92,7 +115,8 @@ func (pr *Protocol) failStopIn(window float64, r *rng.Rand) (float64, bool) {
 	if pr.lambdaF == 0 {
 		return 0, false
 	}
-	t := r.Exp(pr.lambdaF)
+	// Inversion sampling with the precomputed 1/λf: one log, one multiply.
+	t := r.ExpInv(pr.invLambdaF)
 	if t < window {
 		return t, true
 	}
@@ -105,7 +129,7 @@ func (pr *Protocol) silentStrikes(r *rng.Rand) bool {
 	if pr.lambdaS == 0 {
 		return false
 	}
-	return r.Float64() < -math.Expm1(-pr.lambdaS*pr.T)
+	return r.Float64() < pr.pSilent
 }
 
 // simulateRecovery plays recoveries until one completes, accumulating

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"amdahlyd/internal/core"
 	"amdahlyd/internal/rng"
@@ -87,7 +88,14 @@ func Simulate(m core.Model, t, p float64, cfg RunConfig) (RunResult, error) {
 			return mc.SimulateRun(cfg.Patterns, r)
 		}
 	} else {
-		pr, err := NewProtocol(m, t, p)
+		if err := m.Validate(); err != nil {
+			return RunResult{}, err
+		}
+		if p < 1 {
+			return RunResult{}, fmt.Errorf("sim: invalid pattern T=%g, P=%g", t, p)
+		}
+		fz := m.Freeze(p)
+		pr, err := NewProtocolFrozen(&fz, t)
 		if err != nil {
 			return RunResult{}, err
 		}
@@ -96,31 +104,62 @@ func Simulate(m core.Model, t, p float64, cfg RunConfig) (RunResult, error) {
 		}
 	}
 
+	// Run i always draws from the deterministic child stream Split(i), so
+	// the dispatch strategy below (sequential fast path or chunked
+	// work-stealing) never changes the results. Split only reads the
+	// master state, so concurrent splitting is race-free.
 	master := rng.New(cfg.Seed)
 	hOfP := m.Profile.Overhead(p)
 
-	jobs := make(chan int)
 	outs := make([]runOut, cfg.Runs)
-	var wg sync.WaitGroup
 	workers := cfg.Workers
+	if workers < 1 {
+		// A negative Workers would otherwise spawn no goroutines and
+		// return all-zero stats (NaN overheads) with a nil error.
+		workers = 1
+	}
 	if workers > cfg.Runs {
 		workers = cfg.Runs
 	}
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range jobs {
-				st, err := runOne(master.Split(uint64(i)))
-				outs[i] = runOut{stats: st, err: err}
-			}
-		}()
+	if workers == 1 {
+		// The experiment drivers parallelize at the cell level and run
+		// each campaign with a single worker: skip the goroutine and
+		// dispatch machinery entirely.
+		for i := 0; i < cfg.Runs; i++ {
+			st, err := runOne(master.Split(uint64(i)))
+			outs[i] = runOut{stats: st, err: err}
+		}
+	} else {
+		// Chunked dispatch: workers claim contiguous run ranges from an
+		// atomic cursor instead of receiving one channel message per run.
+		chunk := cfg.Runs / (workers * 4)
+		if chunk < 1 {
+			chunk = 1
+		}
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					end := int(next.Add(int64(chunk)))
+					start := end - chunk
+					if start >= cfg.Runs {
+						return
+					}
+					if end > cfg.Runs {
+						end = cfg.Runs
+					}
+					for i := start; i < end; i++ {
+						st, err := runOne(master.Split(uint64(i)))
+						outs[i] = runOut{stats: st, err: err}
+					}
+				}
+			}()
+		}
+		wg.Wait()
 	}
-	for i := 0; i < cfg.Runs; i++ {
-		jobs <- i
-	}
-	close(jobs)
-	wg.Wait()
 
 	var overhead, meanTime stats.Welford
 	res := RunResult{Config: cfg}

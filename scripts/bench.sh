@@ -1,0 +1,80 @@
+#!/usr/bin/env bash
+# bench.sh — run the full benchmark suite and record it as BENCH_<N>.json
+# in the repository root, so the perf trajectory of the project is tracked
+# PR over PR.
+#
+# Usage: scripts/bench.sh [N] [extra go test args...]
+#   N defaults to one past the highest existing BENCH_<N>.json.
+#
+# The JSON records the environment (go version, CPU, GOMAXPROCS), the raw
+# `go test -bench` output, and a parsed {name: {ns_per_op, bytes_per_op,
+# allocs_per_op}} map taking the minimum ns/op over -count 3 runs.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+n="${1:-}"
+if [ -z "$n" ]; then
+    n=1
+    for f in BENCH_*.json; do
+        [ -e "$f" ] || continue
+        i="${f#BENCH_}"
+        i="${i%.json}"
+        case "$i" in
+        *[!0-9]*) continue ;;
+        esac
+        if [ "$i" -ge "$n" ]; then n=$((i + 1)); fi
+    done
+else
+    shift
+fi
+
+out="BENCH_${n}.json"
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+
+echo "running benchmarks (count=3)…" >&2
+go test -bench . -benchmem -count 3 -run XXX "$@" . | tee "$raw" >&2
+
+go_version="$(go version)"
+date_utc="$(date -u +%Y-%m-%dT%H:%M:%SZ)"
+
+awk -v go_version="$go_version" -v date_utc="$date_utc" '
+function esc(s) { gsub(/"/, "\\\"", s); return s }
+/^cpu:/ { sub(/^cpu: */, ""); cpu = $0 }
+/^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    ns = ""; bytes = ""; allocs = ""
+    for (i = 2; i <= NF; i++) {
+        if ($(i) == "ns/op") ns = $(i - 1)
+        if ($(i) == "B/op") bytes = $(i - 1)
+        if ($(i) == "allocs/op") allocs = $(i - 1)
+    }
+    if (ns == "") next
+    if (!(name in best) || ns + 0 < best[name]) {
+        best[name] = ns + 0
+        b[name] = bytes
+        a[name] = allocs
+        if (!(name in seen)) { order[++k] = name; seen[name] = 1 }
+    }
+}
+END {
+    printf "{\n"
+    printf "  \"date\": \"%s\",\n", esc(date_utc)
+    printf "  \"go\": \"%s\",\n", esc(go_version)
+    printf "  \"cpu\": \"%s\",\n", esc(cpu)
+    printf "  \"count\": 3,\n"
+    printf "  \"metric\": \"min ns/op over runs\",\n"
+    printf "  \"benchmarks\": {\n"
+    for (i = 1; i <= k; i++) {
+        name = order[i]
+        printf "    \"%s\": {\"ns_per_op\": %s", esc(name), best[name]
+        if (b[name] != "") printf ", \"bytes_per_op\": %s", b[name]
+        if (a[name] != "") printf ", \"allocs_per_op\": %s", a[name]
+        printf "}%s\n", (i < k ? "," : "")
+    }
+    printf "  }\n}\n"
+}' "$raw" >"$out"
+
+echo "wrote $out" >&2

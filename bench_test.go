@@ -8,6 +8,7 @@ import (
 	"amdahlyd/internal/core"
 	"amdahlyd/internal/costmodel"
 	"amdahlyd/internal/experiments"
+	"amdahlyd/internal/failures"
 	"amdahlyd/internal/multilevel"
 	"amdahlyd/internal/optimize"
 	"amdahlyd/internal/platform"
@@ -205,6 +206,63 @@ func BenchmarkProtocolPattern(b *testing.B) {
 func BenchmarkMachinePattern(b *testing.B) {
 	m := heraModel(b, costmodel.Scenario1, 0.1)
 	mc, err := sim.NewMachine(m, 6240, 219)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := rng.New(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := mc.SimulateRun(1, r.Split(uint64(i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTraceGenerationExponential measures synthetic trace
+// generation on the historical exponential law (~12.7k events over 64
+// processors) — the hot path of trace-driven workloads.
+func BenchmarkTraceGenerationExponential(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tr, err := failures.GenerateTrace(1e-6, 0.3, 64, 2e8, rng.New(uint64(i)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(tr.Events) == 0 {
+			b.Fatal("empty trace")
+		}
+	}
+}
+
+// BenchmarkTraceGenerationWeibull is its ablation partner on the
+// generic Distribution path (Weibull k = 0.7, same MTBF): the price of
+// the Pow-based inversion over the plain log draw.
+func BenchmarkTraceGenerationWeibull(b *testing.B) {
+	d, err := failures.NewWeibullMTBF(0.7, 1e6)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr, err := failures.GenerateTraceDist(d, 0.3, 64, 2e8, rng.New(uint64(i)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(tr.Events) == 0 {
+			b.Fatal("empty trace")
+		}
+	}
+}
+
+// BenchmarkMachinePatternWeibull measures the renewal-clock machine
+// simulator (the robustness study's pricing oracle) against
+// BenchmarkMachinePattern's exponential fast path.
+func BenchmarkMachinePatternWeibull(b *testing.B) {
+	m := heraModel(b, costmodel.Scenario1, 0.1)
+	d, err := failures.NewWeibullMTBF(0.7, 1/m.LambdaInd)
+	if err != nil {
+		b.Fatal(err)
+	}
+	mc, err := sim.NewMachineDist(m, 6240, 219, d)
 	if err != nil {
 		b.Fatal(err)
 	}

@@ -1,11 +1,20 @@
 // Command amdahl-exp regenerates the paper's evaluation figures
-// (Figs. 2–7 of Section IV) as text tables and CSV series.
+// (Figs. 2–7 of Section IV) as text tables and CSV series, plus the
+// extension studies.
 //
 // Usage:
 //
 //	amdahl-exp -fig 2                  # Fig. 2 on all four platforms
 //	amdahl-exp -fig 5 -quick           # reduced Monte-Carlo budget
 //	amdahl-exp -fig all -out results/  # everything, with CSV files
+//
+// The robustness subcommand stresses the exponential-optimal patterns
+// against non-memoryless failure laws (Weibull, log-normal, Gamma),
+// re-tuning the period under the true distribution and reporting the
+// overhead gap per Table III scenario:
+//
+//	amdahl-exp robustness -dist weibull -shape 0.7
+//	amdahl-exp robustness -dist weibull -quick   # sweep k in [0.5, 1]
 package main
 
 import (
@@ -18,14 +27,104 @@ import (
 
 	"amdahlyd/internal/costmodel"
 	"amdahlyd/internal/experiments"
+	"amdahlyd/internal/failures"
 	"amdahlyd/internal/platform"
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	args := os.Args[1:]
+	var err error
+	if len(args) > 0 && args[0] == "robustness" {
+		err = runRobustness(args[1:])
+	} else {
+		err = run(args)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "amdahl-exp:", err)
 		os.Exit(1)
 	}
+}
+
+// buildConfig assembles the Monte-Carlo budget shared by every
+// subcommand: -quick selects the reduced preset, -runs/-patterns
+// override either axis.
+func buildConfig(quick bool, seed uint64, runs, patterns int) experiments.Config {
+	cfg := experiments.Config{Seed: seed}
+	if quick {
+		cfg = experiments.Quick()
+		cfg.Seed = seed
+	}
+	if runs > 0 {
+		cfg.Runs = runs
+	}
+	if patterns > 0 {
+		cfg.Patterns = patterns
+	}
+	return cfg
+}
+
+// runRobustness drives the non-exponential robustness study (extension
+// beyond the paper; see DESIGN.md, distribution substrate).
+func runRobustness(args []string) error {
+	fs := flag.NewFlagSet("amdahl-exp robustness", flag.ContinueOnError)
+	platName := fs.String("platform", "hera", "platform supplying rates and costs")
+	dist := fs.String("dist", "weibull", "true failure law: weibull, lognormal or gamma (exponential = sanity baseline)")
+	shape := fs.Float64("shape", 0, "distribution shape (Weibull/Gamma k, log-normal σ); 0 sweeps the default Weibull range [0.5, 1]")
+	scenario := fs.Int("scenario", 0, "restrict to one Table III scenario 1-6 (0 = all)")
+	quick := fs.Bool("quick", false, "reduced Monte-Carlo budget (~100× faster)")
+	outDir := fs.String("out", "", "directory for CSV output (optional)")
+	seed := fs.Uint64("seed", 1, "random seed")
+	runs := fs.Int("runs", 0, "override Monte-Carlo runs per point")
+	patterns := fs.Int("patterns", 0, "override patterns per run")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("unexpected argument %q", fs.Arg(0))
+	}
+	pl, err := platform.Lookup(*platName)
+	if err != nil {
+		return err
+	}
+	cfg := buildConfig(*quick, *seed, *runs, *patterns)
+	shapes := experiments.DefaultRobustnessShapes
+	switch {
+	case failures.IsExponentialName(*dist):
+		// The exponential law has no shape parameter: a single cell per
+		// scenario (sweeping the default range would price identical
+		// cells six times over), and an explicit -shape would silently
+		// misstate the law that was priced.
+		if *shape != 0 {
+			return fmt.Errorf("-shape has no effect with -dist exponential")
+		}
+		shapes = []float64{1}
+	case *shape != 0:
+		shapes = []float64{*shape}
+	case *dist == "lognormal":
+		// The default sweep is the Weibull/Gamma shape range, where
+		// shape 1 is the memoryless baseline; LogNormal(σ=1) is not, so
+		// a σ sweep must be an explicit choice.
+		return fmt.Errorf("-dist lognormal needs an explicit -shape (σ)")
+	}
+	var scenarios []costmodel.Scenario
+	if *scenario != 0 {
+		sc := costmodel.Scenario(*scenario)
+		if !sc.Valid() {
+			return fmt.Errorf("scenario %d outside 1-6", *scenario)
+		}
+		scenarios = []costmodel.Scenario{sc}
+	}
+	res, err := experiments.RobustnessStudy(pl, *dist, shapes, scenarios, cfg)
+	if err != nil {
+		return err
+	}
+	if err := res.Render(os.Stdout); err != nil {
+		return err
+	}
+	if *outDir != "" {
+		return writeCSV(*outDir, "robustness", res)
+	}
+	return nil
 }
 
 // renderable is the common surface of every figure result.
@@ -46,18 +145,13 @@ func run(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if fs.NArg() > 0 {
+		// A misspelled subcommand ("robustnes") or a misplaced positional
+		// must not silently launch the full-budget figure suite.
+		return fmt.Errorf("unexpected argument %q (subcommands: robustness)", fs.Arg(0))
+	}
 
-	cfg := experiments.Config{Seed: *seed}
-	if *quick {
-		cfg = experiments.Quick()
-		cfg.Seed = *seed
-	}
-	if *runs > 0 {
-		cfg.Runs = *runs
-	}
-	if *patterns > 0 {
-		cfg.Patterns = *patterns
-	}
+	cfg := buildConfig(*quick, *seed, *runs, *patterns)
 
 	sweepPlatform := platform.Hera()
 	fig2Platforms := platform.All()

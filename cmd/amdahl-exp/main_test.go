@@ -91,3 +91,60 @@ func TestRunErrors(t *testing.T) {
 		t.Error("unknown platform accepted")
 	}
 }
+
+func TestRunRobustnessQuick(t *testing.T) {
+	dir := t.TempDir()
+	out, err := capture(t, func() error {
+		return runRobustness([]string{"-dist", "weibull", "-shape", "0.7",
+			"-scenario", "1", "-quick", "-runs", "10", "-patterns", "20",
+			"-out", dir})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, frag := range []string{"Robustness study", "weibull", "scenario 1", "gap"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("output missing %q:\n%s", frag, out)
+		}
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "robustness.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "overhead_sim_retuned") {
+		t.Error("robustness CSV missing retuned series")
+	}
+}
+
+func TestRunRobustnessRejectsBadFlags(t *testing.T) {
+	if err := runRobustness([]string{"-dist", "cauchy"}); err == nil {
+		t.Error("unknown distribution accepted")
+	}
+	if err := runRobustness([]string{"-scenario", "9"}); err == nil {
+		t.Error("scenario 9 accepted")
+	}
+	if err := runRobustness([]string{"-platform", "nonesuch"}); err == nil {
+		t.Error("unknown platform accepted")
+	}
+}
+
+func TestRunRobustnessExponentialRejectsShape(t *testing.T) {
+	if err := runRobustness([]string{"-dist", "exponential", "-shape", "0.3"}); err == nil {
+		t.Error("-shape with -dist exponential accepted")
+	}
+}
+
+func TestRunRejectsStrayPositional(t *testing.T) {
+	if err := run([]string{"robustnes", "-quick"}); err == nil {
+		t.Error("misspelled subcommand fell through to the figure suite")
+	}
+	if err := runRobustness([]string{"extra"}); err == nil {
+		t.Error("stray positional accepted by robustness")
+	}
+}
+
+func TestRunRobustnessLognormalNeedsShape(t *testing.T) {
+	if err := runRobustness([]string{"-dist", "lognormal", "-quick"}); err == nil {
+		t.Error("lognormal without explicit -shape accepted")
+	}
+}

@@ -1,14 +1,20 @@
 // Command amdahl-trace generates, inspects and replays failure traces.
 //
 // Traces are CSV files of (time, kind, proc) rows in exposure time —
-// the format a real machine log can be converted into. Synthetic traces
-// are exponential with a platform's published rates (the distributional
-// assumption of the paper's simulator; see DESIGN.md, substitutions).
+// the format a real machine log can be converted into — preceded by a
+// "# horizon=" header that keeps the trace length across round trips.
+// Synthetic traces use a platform's published rates (the distributional
+// assumption of the paper's simulator; see DESIGN.md, substitutions);
+// -dist generalizes the per-processor inter-arrival law to the Weibull,
+// log-normal and Gamma renewal processes observed in real platform logs,
+// calibrated to the platform MTBF.
 //
 // Usage:
 //
 //	amdahl-trace gen -platform hera -procs 512 -horizon 1e7 -out trace.csv
+//	amdahl-trace gen -platform hera -dist weibull -shape 0.7 -out trace.csv
 //	amdahl-trace stat -in trace.csv
+//	amdahl-trace stat -in trace.csv -dist weibull -shape 0.7 -lambda 1.69e-8
 //	amdahl-trace replay -in trace.csv -platform hera -scenario 1 -T 6240 -P 219
 package main
 
@@ -48,21 +54,46 @@ func main() {
 	}
 }
 
+// checkShapeFlag enforces the -dist/-shape pairing: the exponential law
+// has no shape parameter (a supplied one would silently misstate the
+// sampled law), and every other law needs one explicitly.
+func checkShapeFlag(dist string, shape float64) error {
+	exponential := failures.IsExponentialName(dist)
+	if exponential && shape != 0 {
+		return fmt.Errorf("-shape has no effect with -dist exponential")
+	}
+	if !exponential && shape == 0 {
+		return fmt.Errorf("-dist %s needs an explicit -shape", dist)
+	}
+	return nil
+}
+
 func runGen(args []string) error {
 	fs := flag.NewFlagSet("amdahl-trace gen", flag.ContinueOnError)
 	platName := fs.String("platform", "hera", "platform supplying λ_ind and f")
 	procs := fs.Int("procs", 512, "number of processors")
 	horizon := fs.Float64("horizon", 1e7, "trace length in exposure seconds")
 	seed := fs.Uint64("seed", 1, "random seed")
+	dist := fs.String("dist", "exponential", "inter-arrival law: exponential, weibull, lognormal or gamma (MTBF-calibrated)")
+	shape := fs.Float64("shape", 0, "distribution shape (Weibull/Gamma k, log-normal σ); required for non-exponential laws")
 	out := fs.String("out", "", "output CSV path (default stdout)")
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := checkShapeFlag(*dist, *shape); err != nil {
 		return err
 	}
 	pl, err := platform.Lookup(*platName)
 	if err != nil {
 		return err
 	}
-	tr, err := failures.GenerateTrace(pl.LambdaInd, pl.FailStopFraction, *procs, *horizon, rng.New(*seed))
+	// ParseDistribution carries the exponential rate through verbatim, so
+	// the default path stays bit-identical to the historical generator.
+	d, err := failures.ParseDistribution(*dist, *shape, pl.LambdaInd)
+	if err != nil {
+		return err
+	}
+	tr, err := failures.GenerateTraceDist(d, pl.FailStopFraction, *procs, *horizon, rng.New(*seed))
 	if err != nil {
 		return err
 	}
@@ -87,9 +118,26 @@ func runGen(args []string) error {
 func runStat(args []string) error {
 	fs := flag.NewFlagSet("amdahl-trace stat", flag.ContinueOnError)
 	in := fs.String("in", "", "input CSV path (required)")
-	rate := fs.Float64("rate", 0, "expected platform rate P·λ_ind for a KS test (optional)")
+	rate := fs.Float64("rate", 0, "expected platform rate P·λ_ind for a merged-stream KS test (exponential traces only)")
+	dist := fs.String("dist", "", "per-processor law for a goodness-of-fit KS test (weibull, lognormal, gamma, exponential)")
+	shape := fs.Float64("shape", 0, "shape for -dist (Weibull/Gamma k, log-normal σ); required for non-exponential laws")
+	lambda := fs.Float64("lambda", 0, "per-processor rate λ_ind for -dist (required with -dist)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *dist != "" {
+		if err := checkShapeFlag(*dist, *shape); err != nil {
+			return err
+		}
+		if !(*lambda > 0) {
+			// Fail fast, before any statistics are printed: a script
+			// capturing stdout must not see partial output on error.
+			return fmt.Errorf("-dist needs -lambda (per-processor rate)")
+		}
+	} else if *shape != 0 || *lambda != 0 {
+		// A forgotten -dist must not silently skip the KS test the user
+		// asked for with the other flags.
+		return fmt.Errorf("-shape/-lambda need -dist")
 	}
 	if *in == "" {
 		return fmt.Errorf("need -in")
@@ -126,6 +174,24 @@ func runStat(args []string) error {
 		}
 		fmt.Printf("KS test: D=%.4g, p=%.4g — %s Exp(%g)\n",
 			res.Statistic, res.PValue, verdict, *rate)
+	}
+	if *dist != "" {
+		d, err := failures.ParseDistribution(*dist, *shape, *lambda)
+		if err != nil {
+			return err
+		}
+		// Per-processor gaps are iid draws of the law for any renewal
+		// trace; the merged stream only is in the exponential case.
+		res, err := stats.KSTest(tr.ProcInterArrivals(), d.CDF)
+		if err != nil {
+			return err
+		}
+		verdict := "consistent with"
+		if res.Reject(0.01) {
+			verdict = "REJECTED against"
+		}
+		fmt.Printf("KS test (per-proc): D=%.4g, p=%.4g — %s %s\n",
+			res.Statistic, res.PValue, verdict, d.Name())
 	}
 	return nil
 }

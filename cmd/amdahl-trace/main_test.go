@@ -101,3 +101,95 @@ func TestSubcommandErrors(t *testing.T) {
 		t.Error("bad scenario accepted")
 	}
 }
+
+func TestGenDistWeibullPipeline(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "weibull.csv")
+	err := runGen([]string{"-platform", "hera", "-procs", "64",
+		"-horizon", "3e9", "-seed", "5", "-dist", "weibull", "-shape", "0.7",
+		"-out", path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := capture(t, func() error {
+		return runStat([]string{"-in", path, "-dist", "weibull", "-shape", "0.7",
+			"-lambda", "1.69e-8"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, frag := range []string{"KS test (per-proc)", "consistent with", "weibull"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("stat output missing %q:\n%s", frag, out)
+		}
+	}
+	// The wrong shape must be detected.
+	out, err = capture(t, func() error {
+		return runStat([]string{"-in", path, "-dist", "weibull", "-shape", "0.4",
+			"-lambda", "1.69e-8"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "REJECTED") {
+		t.Errorf("mis-shaped KS not rejected:\n%s", out)
+	}
+}
+
+func TestGenDistRejectsUnknown(t *testing.T) {
+	if err := runGen([]string{"-dist", "cauchy", "-shape", "1"}); err == nil {
+		t.Error("unknown distribution accepted")
+	}
+}
+
+func TestStatDistNeedsLambda(t *testing.T) {
+	path := genTestTrace(t)
+	if err := runStat([]string{"-in", path, "-dist", "weibull", "-shape", "0.7"}); err == nil {
+		t.Error("-dist without -lambda accepted")
+	}
+}
+
+// The default gen path must keep producing byte-identical traces for a
+// fixed seed (the horizon header is new, but events must not move).
+func TestGenDefaultStillExponential(t *testing.T) {
+	dir := t.TempDir()
+	a := filepath.Join(dir, "a.csv")
+	b := filepath.Join(dir, "b.csv")
+	if err := runGen([]string{"-procs", "32", "-horizon", "1e9", "-seed", "7", "-out", a}); err != nil {
+		t.Fatal(err)
+	}
+	if err := runGen([]string{"-procs", "32", "-horizon", "1e9", "-seed", "7",
+		"-dist", "exponential", "-out", b}); err != nil {
+		t.Fatal(err)
+	}
+	da, err := os.ReadFile(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := os.ReadFile(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(da) != string(db) {
+		t.Error("explicit -dist exponential differs from the default path")
+	}
+}
+
+func TestShapeFlagPairing(t *testing.T) {
+	if err := runGen([]string{"-dist", "exponential", "-shape", "0.5"}); err == nil {
+		t.Error("gen: -shape with exponential accepted")
+	}
+	if err := runGen([]string{"-dist", "weibull"}); err == nil {
+		t.Error("gen: weibull without -shape accepted")
+	}
+	path := genTestTrace(t)
+	if err := runStat([]string{"-in", path, "-dist", "gamma", "-lambda", "1e-8"}); err == nil {
+		t.Error("stat: gamma without -shape accepted")
+	}
+}
+
+func TestStatShapeWithoutDistRejected(t *testing.T) {
+	path := genTestTrace(t)
+	if err := runStat([]string{"-in", path, "-shape", "0.7", "-lambda", "1e-8"}); err == nil {
+		t.Error("stat: -shape/-lambda without -dist accepted")
+	}
+}

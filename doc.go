@@ -36,11 +36,25 @@
 // thousands of times; the Monte-Carlo runner prices one (T, P) over
 // hundreds of runs) and Model everywhere else.
 //
+// # Failure distributions beyond the exponential
+//
+// The paper's model is memoryless end to end; real platform logs are
+// not (Weibull shape < 1 is the standard fit). failures.Distribution
+// generalizes the inter-arrival law — Exponential, Weibull, LogNormal,
+// Gamma, each calibrated to the platform MTBF so rates stay comparable
+// — with raw draws in internal/rng. The law threads through the trace
+// generator (failures.GenerateTraceDist), the machine-level simulator
+// (sim.NewMachineDist, per-processor renewal clocks that pause across
+// downtime), and experiments.RobustnessStudy ("amdahl-exp robustness"),
+// which prices the exponential-optimal pattern under the true law
+// against a re-tuned period. Exponential fast paths stay bit-identical
+// for fixed seeds, pinned by golden tests. See DESIGN.md.
+//
 // Executables: cmd/amdahl-opt (optimal patterns), cmd/amdahl-sim
 // (Monte-Carlo pricing of one pattern), cmd/amdahl-exp (regenerate the
-// paper's figures plus the profile and baseline extension studies), and
-// cmd/amdahl-trace (generate, verify and replay failure traces).
-// Runnable examples live in examples/.
+// paper's figures plus the profile, baseline and robustness extension
+// studies), and cmd/amdahl-trace (generate, verify and replay failure
+// traces, exponential or not). Runnable examples live in examples/.
 //
 // The benchmarks in this package regenerate each of the paper's figures
 // (BenchmarkFig2 … BenchmarkFig7) at a reduced Monte-Carlo budget and

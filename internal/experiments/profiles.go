@@ -32,14 +32,27 @@ type ProfileStudyResult struct {
 }
 
 // DefaultProfiles is the profile set of the study: the paper's Amdahl
-// law, Gustafson weak scaling, and an empirical power law.
-func DefaultProfiles(alpha float64) []speedup.Profile {
-	return []speedup.Profile{
-		speedup.Amdahl{Alpha: alpha},
-		speedup.Gustafson{Alpha: alpha},
-		speedup.PowerLaw{Gamma: 0.9},
-		speedup.PowerLaw{Gamma: 0.7},
+// law, Gustafson weak scaling, and an empirical power law. Construction
+// goes through the validating constructors so a bad α cannot silently
+// produce a decreasing S(P).
+func DefaultProfiles(alpha float64) ([]speedup.Profile, error) {
+	am, err := speedup.NewAmdahl(alpha)
+	if err != nil {
+		return nil, err
 	}
+	gu, err := speedup.NewGustafson(alpha)
+	if err != nil {
+		return nil, err
+	}
+	pw9, err := speedup.NewPowerLaw(0.9)
+	if err != nil {
+		return nil, err
+	}
+	pw7, err := speedup.NewPowerLaw(0.7)
+	if err != nil {
+		return nil, err
+	}
+	return []speedup.Profile{am, gu, pw9, pw7}, nil
 }
 
 // ProfileStudy runs the extension experiment: for each profile and each
@@ -48,7 +61,11 @@ func DefaultProfiles(alpha float64) []speedup.Profile {
 func ProfileStudy(pl platform.Platform, sc costmodel.Scenario, profiles []speedup.Profile, cfg Config) (*ProfileStudyResult, error) {
 	cfg = cfg.withDefaults()
 	if len(profiles) == 0 {
-		profiles = DefaultProfiles(cfg.Alpha)
+		var err error
+		profiles, err = DefaultProfiles(cfg.Alpha)
+		if err != nil {
+			return nil, err
+		}
 	}
 	cells := make([]ProfileCell, len(profiles))
 	err := parallelFor(len(profiles), cfg.Workers, func(i int) error {

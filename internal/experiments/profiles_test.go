@@ -68,7 +68,11 @@ func TestProfileStudyDefaults(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(res.Cells) != len(DefaultProfiles(0.1)) {
+	defaults, err := DefaultProfiles(0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cells) != len(defaults) {
 		t.Fatalf("default profile set not used: %d cells", len(res.Cells))
 	}
 	var buf bytes.Buffer

@@ -1,18 +1,27 @@
 // Package failures implements the error-process substrate of Section II:
-// exponential fail-stop and silent error arrivals, the platform-level
-// superposition of P per-processor processes (λ_P = P·λ_ind), thinning of
-// a combined stream into fail-stop (fraction f) and silent (fraction s)
-// sub-streams, and synthetic failure traces with CSV persistence.
+// fail-stop and silent error arrivals, the platform-level superposition
+// of P per-processor processes (λ_P = P·λ_ind), thinning of a combined
+// stream into fail-stop (fraction f) and silent (fraction s) sub-streams,
+// and synthetic failure traces with CSV persistence.
+//
+// The paper's model is exponential everywhere; the Distribution interface
+// generalizes the inter-arrival law to Weibull, log-normal and Gamma
+// renewal processes — each calibrated to a target MTBF so rates stay
+// comparable — for the robustness studies that stress the
+// exponential-optimal (T*, P*) under non-memoryless failures (see
+// DESIGN.md). The exponential paths sample bit-identically to the
+// pre-Distribution code for fixed seeds.
 //
 // Substitution note: the paper parameterizes its simulator with error
 // rates measured from SCR platform logs that are not public. The traces
-// generated here are exponential with exactly those published rates, which
-// is the same distributional assumption the paper's own simulator makes,
-// so every downstream code path (injection, rollback, statistics) is
-// exercised identically.
+// generated here are synthetic with exactly those published rates —
+// exponential by default, the same distributional assumption the paper's
+// own simulator makes — so every downstream code path (injection,
+// rollback, statistics) is exercised identically.
 package failures
 
 import (
+	"bufio"
 	"encoding/csv"
 	"errors"
 	"fmt"
@@ -20,6 +29,7 @@ import (
 	"math"
 	"sort"
 	"strconv"
+	"strings"
 
 	"amdahlyd/internal/rng"
 )
@@ -46,15 +56,17 @@ func (k Kind) String() string {
 	}
 }
 
-// Source draws exponential inter-arrival times for one error stream.
-// It is a thin, allocation-free wrapper over an rng stream.
+// Source draws inter-arrival times for one error stream. The default
+// (NewSource) law is exponential — a thin, allocation-free wrapper over
+// an rng stream — and NewSourceDist generalizes it to any Distribution.
 type Source struct {
 	rate float64
+	dist Distribution // nil for the zero-rate never-arriving source
 	r    *rng.Rand
 }
 
-// NewSource returns a Source with the given arrival rate (1/s). A zero
-// rate is allowed and never produces an arrival.
+// NewSource returns an exponential Source with the given arrival rate
+// (1/s). A zero rate is allowed and never produces an arrival.
 func NewSource(rate float64, r *rng.Rand) (*Source, error) {
 	if rate < 0 || math.IsNaN(rate) || math.IsInf(rate, 0) {
 		return nil, fmt.Errorf("failures: invalid rate %g", rate)
@@ -62,28 +74,55 @@ func NewSource(rate float64, r *rng.Rand) (*Source, error) {
 	if r == nil {
 		return nil, errors.New("failures: nil rng")
 	}
-	return &Source{rate: rate, r: r}, nil
+	s := &Source{rate: rate, r: r}
+	if rate > 0 {
+		s.dist = Exponential{Rate: rate}
+	}
+	return s, nil
 }
 
-// Rate returns the arrival rate.
+// NewSourceDist returns a Source drawing from an arbitrary inter-arrival
+// law. The source's nominal rate is 1/dist.Mean().
+func NewSourceDist(dist Distribution, r *rng.Rand) (*Source, error) {
+	if dist == nil {
+		return nil, errors.New("failures: nil distribution")
+	}
+	if r == nil {
+		return nil, errors.New("failures: nil rng")
+	}
+	if err := ValidateMean(dist); err != nil {
+		return nil, err
+	}
+	return &Source{rate: 1 / dist.Mean(), dist: dist, r: r}, nil
+}
+
+// Rate returns the nominal arrival rate (the reciprocal mean).
 func (s *Source) Rate() float64 { return s.rate }
+
+// Dist returns the inter-arrival law (nil for a zero-rate source).
+func (s *Source) Dist() Distribution { return s.dist }
 
 // Next returns the time to the next arrival (+Inf when the rate is 0).
 func (s *Source) Next() float64 {
-	if s.rate == 0 {
+	if s.dist == nil {
 		return math.Inf(1)
 	}
-	return s.r.Exp(s.rate)
+	return s.dist.Sample(s.r)
 }
 
 // FirstInWindow samples whether an arrival occurs within a window of the
-// given length, and if so at what offset. Thanks to memorylessness this
-// is exactly one exponential draw truncated to the window.
+// given length, and if so at what offset. For the exponential law,
+// memorylessness makes this exactly one draw truncated to the window —
+// the age of the renewal process is irrelevant. For any other law the
+// draw is a fresh (age-zero) renewal interval: correct immediately after
+// an arrival or a protocol reset, an approximation mid-stream; callers
+// that need exact non-memoryless arrivals must track absolute next-event
+// clocks (as the machine-level simulator does) instead.
 func (s *Source) FirstInWindow(window float64) (offset float64, struck bool) {
-	if window <= 0 || s.rate == 0 {
+	if window <= 0 || s.dist == nil {
 		return 0, false
 	}
-	t := s.r.Exp(s.rate)
+	t := s.dist.Sample(s.r)
 	if t < window {
 		return t, true
 	}
@@ -150,33 +189,110 @@ type Trace struct {
 // GenerateTrace builds a synthetic machine-level trace: each of procs
 // processors suffers errors at rate λ_ind, each error independently
 // fail-stop with probability f. Events are merged and time-ordered.
+// Arrivals are exponential; GenerateTraceDist generalizes the law.
 func GenerateTrace(lambdaInd, f float64, procs int, horizon float64, r *rng.Rand) (*Trace, error) {
-	if lambdaInd < 0 || procs < 1 || horizon <= 0 {
-		return nil, fmt.Errorf("failures: invalid trace parameters λ=%g P=%d horizon=%g",
-			lambdaInd, procs, horizon)
+	if lambdaInd < 0 || math.IsNaN(lambdaInd) || math.IsInf(lambdaInd, 0) {
+		return nil, fmt.Errorf("failures: invalid trace rate λ=%g", lambdaInd)
 	}
-	if f < 0 || f > 1 {
-		return nil, fmt.Errorf("failures: fail-stop fraction %g outside [0,1]", f)
+	if lambdaInd == 0 {
+		// Valid degenerate case: an empty trace of the full horizon.
+		if err := validateTraceParams(f, procs, horizon, r); err != nil {
+			return nil, err
+		}
+		return &Trace{Horizon: horizon}, nil
+	}
+	return GenerateTraceDist(Exponential{Rate: lambdaInd}, f, procs, horizon, r)
+}
+
+// validateTraceParams holds the parameter checks shared by both
+// generator entry points, so a tightened rule cannot miss one of them.
+func validateTraceParams(f float64, procs int, horizon float64, r *rng.Rand) error {
+	// !(horizon > 0) also catches NaN, which would yield a silently
+	// empty, headerless trace.
+	if procs < 1 || !(horizon > 0) || math.IsInf(horizon, 0) {
+		return fmt.Errorf("failures: invalid trace parameters P=%d horizon=%g", procs, horizon)
+	}
+	// !(f >= 0) also catches NaN, which would silently generate an
+	// all-Silent trace ("< f" is false for every draw).
+	if !(f >= 0) || f > 1 {
+		return fmt.Errorf("failures: fail-stop fraction %g outside [0,1]", f)
 	}
 	if r == nil {
-		return nil, errors.New("failures: nil rng")
+		return errors.New("failures: nil rng")
+	}
+	return nil
+}
+
+// GenerateTraceDist builds a synthetic machine-level trace whose
+// per-processor inter-arrival times follow an arbitrary Distribution:
+// each processor is an independent renewal process of the given law,
+// each arrival independently fail-stop with probability f. Events are
+// merged and ordered by (Time, Proc).
+//
+// For the exponential law this samples the identical stream as the
+// historical generator (one uniform per arrival from the per-processor
+// child stream, then one for the kind), so exponential traces stay
+// bit-identical for fixed seeds.
+func GenerateTraceDist(dist Distribution, f float64, procs int, horizon float64, r *rng.Rand) (*Trace, error) {
+	if dist == nil {
+		return nil, errors.New("failures: nil distribution")
+	}
+	if err := validateTraceParams(f, procs, horizon, r); err != nil {
+		return nil, err
 	}
 	tr := &Trace{Horizon: horizon}
-	if lambdaInd == 0 {
-		return tr, nil
-	}
 	for p := 0; p < procs; p++ {
 		pr := r.Split(uint64(p))
-		for t := pr.Exp(lambdaInd); t < horizon; t += pr.Exp(lambdaInd) {
+		stalls := 0
+		for t := dist.Sample(pr); t < horizon; {
 			kind := Silent
 			if pr.Float64() < f {
 				kind = FailStop
 			}
 			tr.Events = append(tr.Events, Event{Time: t, Kind: kind, Proc: p})
+			if len(tr.Events) > maxTraceEvents {
+				return nil, fmt.Errorf("failures: trace exceeds %d events (distribution %s too bursty for horizon %g)",
+					maxTraceEvents, dist.Name(), horizon)
+			}
+			// A draw below one ulp of t leaves the clock unchanged; a
+			// degenerate law (underflowing samples) would otherwise spin
+			// here forever appending equal-time events.
+			next := t + dist.Sample(pr)
+			if next > t {
+				stalls = 0
+			} else if stalls++; stalls > maxStalledDraws {
+				return nil, fmt.Errorf("failures: distribution %s stalled trace time at %g (samples underflow)",
+					dist.Name(), t)
+			}
+			t = next
 		}
 	}
-	sort.Slice(tr.Events, func(i, j int) bool { return tr.Events[i].Time < tr.Events[j].Time })
+	SortEvents(tr.Events)
 	return tr, nil
+}
+
+// maxTraceEvents bounds a generated trace's memory footprint (~400 MB
+// of events); a heavier trace is a parameterization error, not a
+// workload.
+const maxTraceEvents = 16 << 20
+
+// maxStalledDraws bounds consecutive draws that fail to advance the
+// trace clock before generation gives up on a degenerate law.
+const maxStalledDraws = 1000
+
+// SortEvents orders a merged event slice by (Time, Proc), stably. The
+// tie-break matters: continuous draws make cross-processor time
+// collisions rare but not impossible (a rounded-away increment can land
+// two processors on the same float), and an unstable time-only sort then
+// leaves equal-time events in platform-dependent order, breaking replay
+// determinism.
+func SortEvents(events []Event) {
+	sort.SliceStable(events, func(i, j int) bool {
+		if events[i].Time != events[j].Time {
+			return events[i].Time < events[j].Time
+		}
+		return events[i].Proc < events[j].Proc
+	})
 }
 
 // Count returns the number of events of the given kind.
@@ -206,8 +322,44 @@ func (tr *Trace) InterArrivals() []float64 {
 	return out
 }
 
-// WriteCSV persists the trace as "time,kind,proc" rows with a header.
+// ProcInterArrivals returns the per-processor inter-arrival times,
+// pooled across processors: for each processor the gaps between its own
+// consecutive events. The gap from t = 0 to a processor's first event is
+// excluded — it is only a renewal draw when the observation window
+// starts at age zero, and a trace converted from a real log typically
+// starts mid-stream, where that interval follows the residual-life
+// distribution instead. The gaps returned are iid draws of the
+// generating Distribution for any renewal trace — the quantity the
+// per-law KS goodness-of-fit tests check — whereas the merged-stream
+// InterArrivals only follow the source law in the exponential
+// (superposition-closed) case.
+func (tr *Trace) ProcInterArrivals() []float64 {
+	if len(tr.Events) == 0 {
+		return nil
+	}
+	last := make(map[int]float64)
+	out := make([]float64, 0, len(tr.Events))
+	for _, e := range tr.Events {
+		if prev, seen := last[e.Proc]; seen {
+			out = append(out, e.Time-prev)
+		}
+		last[e.Proc] = e.Time
+	}
+	return out
+}
+
+// WriteCSV persists the trace as "time,kind,proc" rows with a header,
+// preceded by a "# horizon=<g17>" comment line. The horizon must travel
+// with the file: restoring it as the last event time (the historical
+// fallback) makes a saved-then-replayed trace exhaust one partial
+// pattern earlier than the in-memory one.
 func (tr *Trace) WriteCSV(w io.Writer) error {
+	if tr.Horizon > 0 {
+		if _, err := fmt.Fprintf(w, "# horizon=%s\n",
+			strconv.FormatFloat(tr.Horizon, 'g', 17, 64)); err != nil {
+			return err
+		}
+	}
 	cw := csv.NewWriter(w)
 	if err := cw.Write([]string{"time", "kind", "proc"}); err != nil {
 		return err
@@ -226,10 +378,35 @@ func (tr *Trace) WriteCSV(w io.Writer) error {
 	return cw.Error()
 }
 
-// ReadCSV loads a trace written by WriteCSV. The horizon is restored as
-// the last event time (the file format does not carry it separately).
+// ReadCSV loads a trace written by WriteCSV. The horizon is restored
+// from the "# horizon=" comment line; files predating the horizon line
+// fall back to the last event time (the historical lossy behaviour,
+// kept for compatibility with already-saved traces and converted real
+// logs).
 func ReadCSV(r io.Reader) (*Trace, error) {
-	cr := csv.NewReader(r)
+	br := bufio.NewReader(r)
+	horizon := math.NaN()
+	if peek, err := br.Peek(1); err == nil && peek[0] == '#' {
+		line, err := br.ReadString('\n')
+		if err != nil && err != io.EOF {
+			return nil, fmt.Errorf("failures: reading trace header: %w", err)
+		}
+		line = strings.TrimSpace(strings.TrimPrefix(line, "#"))
+		if rest, ok := strings.CutPrefix(line, "horizon="); ok {
+			h, err := strconv.ParseFloat(rest, 64)
+			if err != nil {
+				return nil, fmt.Errorf("failures: trace header horizon: %w", err)
+			}
+			if !(h > 0) || math.IsInf(h, 0) {
+				return nil, fmt.Errorf("failures: trace header horizon %g must be positive and finite", h)
+			}
+			horizon = h
+		}
+	}
+	cr := csv.NewReader(br)
+	// Skip any further comment lines (provenance notes in converted real
+	// logs); only the first line is recognized as the horizon header.
+	cr.Comment = '#'
 	rows, err := cr.ReadAll()
 	if err != nil {
 		return nil, fmt.Errorf("failures: reading trace CSV: %w", err)
@@ -246,6 +423,11 @@ func ReadCSV(r io.Reader) (*Trace, error) {
 		if err != nil {
 			return nil, fmt.Errorf("failures: row %d time: %w", i+2, err)
 		}
+		// NaN compares false everywhere, silently defeating both the
+		// (Time, Proc) sort and the horizon validation below.
+		if math.IsNaN(t) || math.IsInf(t, 0) || t < 0 {
+			return nil, fmt.Errorf("failures: row %d time %g must be finite and non-negative", i+2, t)
+		}
 		var kind Kind
 		switch row[1] {
 		case "fail-stop":
@@ -261,7 +443,19 @@ func ReadCSV(r io.Reader) (*Trace, error) {
 		}
 		tr.Events = append(tr.Events, Event{Time: t, Kind: kind, Proc: proc})
 	}
-	if n := len(tr.Events); n > 0 {
+	// Hand-converted real logs may arrive out of time order; the replay
+	// cursor needs a monotone trace, and the horizon checks below need
+	// the last event to be the latest one.
+	SortEvents(tr.Events)
+	if !math.IsNaN(horizon) {
+		// Strictly beyond only: a legacy trace whose horizon fell back to
+		// its last event time must survive a re-save/re-load round trip.
+		if n := len(tr.Events); n > 0 && tr.Events[n-1].Time > horizon {
+			return nil, fmt.Errorf("failures: event at %g beyond declared horizon %g",
+				tr.Events[n-1].Time, horizon)
+		}
+		tr.Horizon = horizon
+	} else if n := len(tr.Events); n > 0 {
 		tr.Horizon = tr.Events[n-1].Time
 	}
 	return tr, nil

@@ -1,0 +1,139 @@
+package rng
+
+import (
+	"math"
+	"testing"
+)
+
+// moments draws n variates and returns the sample mean and variance.
+func moments(n int, draw func() float64) (mean, variance float64) {
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		x := draw()
+		sum += x
+		sumSq += x * x
+	}
+	mean = sum / float64(n)
+	variance = sumSq/float64(n) - mean*mean
+	return mean, variance
+}
+
+func TestWeibullMoments(t *testing.T) {
+	r := New(31)
+	shape, scale := 0.7, 1000.0
+	g1 := math.Gamma(1 + 1/shape)
+	g2 := math.Gamma(1 + 2/shape)
+	wantMean := scale * g1
+	wantVar := scale * scale * (g2 - g1*g1)
+	mean, variance := moments(1_000_000, func() float64 {
+		x := r.Weibull(shape, scale)
+		if x < 0 {
+			t.Fatal("negative Weibull variate")
+		}
+		return x
+	})
+	if math.Abs(mean-wantMean)/wantMean > 0.01 {
+		t.Errorf("weibull mean = %g, want %g", mean, wantMean)
+	}
+	if math.Abs(variance-wantVar)/wantVar > 0.05 {
+		t.Errorf("weibull variance = %g, want %g", variance, wantVar)
+	}
+}
+
+// A shape-1 Weibull must walk the same sample path as the exponential
+// inversion sampler: same single uniform per draw, and Pow(x, 1) = x.
+func TestWeibullShape1MatchesExpInv(t *testing.T) {
+	r1, r2 := New(57), New(57)
+	scale := 3.75e6
+	for i := 0; i < 10000; i++ {
+		w := r1.Weibull(1, scale)
+		e := r2.ExpInv(scale)
+		if w != e {
+			t.Fatalf("draw %d: Weibull(1, %g) = %x, ExpInv = %x", i, scale, w, e)
+		}
+	}
+}
+
+func TestLogNormalMoments(t *testing.T) {
+	r := New(33)
+	mu, sigma := 2.0, 0.5
+	wantMean := math.Exp(mu + sigma*sigma/2)
+	wantVar := (math.Exp(sigma*sigma) - 1) * math.Exp(2*mu+sigma*sigma)
+	mean, variance := moments(1_000_000, func() float64 {
+		x := r.LogNormal(mu, sigma)
+		if x <= 0 {
+			t.Fatal("non-positive LogNormal variate")
+		}
+		return x
+	})
+	if math.Abs(mean-wantMean)/wantMean > 0.01 {
+		t.Errorf("lognormal mean = %g, want %g", mean, wantMean)
+	}
+	if math.Abs(variance-wantVar)/wantVar > 0.05 {
+		t.Errorf("lognormal variance = %g, want %g", variance, wantVar)
+	}
+}
+
+func TestGammaMoments(t *testing.T) {
+	for _, shape := range []float64{0.5, 1, 2.5, 30} {
+		r := New(35)
+		scale := 400.0
+		wantMean := shape * scale
+		wantVar := shape * scale * scale
+		mean, variance := moments(500_000, func() float64 {
+			x := r.Gamma(shape, scale)
+			if x < 0 {
+				t.Fatal("negative Gamma variate")
+			}
+			return x
+		})
+		if math.Abs(mean-wantMean)/wantMean > 0.01 {
+			t.Errorf("gamma(k=%g) mean = %g, want %g", shape, mean, wantMean)
+		}
+		if math.Abs(variance-wantVar)/wantVar > 0.05 {
+			t.Errorf("gamma(k=%g) variance = %g, want %g", shape, variance, wantVar)
+		}
+	}
+}
+
+func TestDistPanicsOnBadParameters(t *testing.T) {
+	r := New(1)
+	cases := []struct {
+		name string
+		fn   func()
+	}{
+		{"weibull shape 0", func() { r.Weibull(0, 1) }},
+		{"weibull scale -1", func() { r.Weibull(1, -1) }},
+		{"weibull shape NaN", func() { r.Weibull(math.NaN(), 1) }},
+		{"lognormal sigma 0", func() { r.LogNormal(0, 0) }},
+		{"lognormal sigma NaN", func() { r.LogNormal(0, math.NaN()) }},
+		{"gamma shape 0", func() { r.Gamma(0, 1) }},
+		{"gamma scale 0", func() { r.Gamma(1, 0) }},
+		{"gamma scale NaN", func() { r.Gamma(1, math.NaN()) }},
+	}
+	for _, c := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s should panic", c.name)
+				}
+			}()
+			c.fn()
+		}()
+	}
+}
+
+func TestDistDeterminism(t *testing.T) {
+	a, b := New(99), New(99)
+	for i := 0; i < 1000; i++ {
+		if a.Weibull(0.6, 2) != b.Weibull(0.6, 2) {
+			t.Fatal("Weibull not deterministic")
+		}
+		if a.LogNormal(1, 0.3) != b.LogNormal(1, 0.3) {
+			t.Fatal("LogNormal not deterministic")
+		}
+		if a.Gamma(1.7, 5) != b.Gamma(1.7, 5) {
+			t.Fatal("Gamma not deterministic")
+		}
+	}
+}

@@ -142,6 +142,63 @@ func (r *Rand) ExpInv(invRate float64) float64 {
 	return -math.Log(r.Float64Open()) * invRate
 }
 
+// Weibull returns a Weibull variate with the given shape k and scale λ,
+// via inversion: λ·(−ln U)^{1/k}. Shape 1 degenerates to an exponential
+// with mean λ; because Pow(x, 1) = x exactly and the draw consumes the
+// same single uniform as Exp, a shape-1 Weibull walks the identical
+// sample path as ExpInv(λ) — calibrated callers fall back bit-identically
+// whenever the scale is an exact reciprocal of the rate (e.g. dyadic
+// rates), and in distribution always. It panics for non-positive
+// parameters.
+func (r *Rand) Weibull(shape, scale float64) float64 {
+	// !(x > 0) also catches NaN, honouring the fail-fast contract.
+	if !(shape > 0) || !(scale > 0) {
+		panic("rng: Weibull with non-positive shape or scale")
+	}
+	return scale * math.Pow(-math.Log(r.Float64Open()), 1/shape)
+}
+
+// LogNormal returns a variate whose logarithm is Normal(mu, sigma):
+// exp(μ + σ·Z). It panics for non-positive sigma. Note that the draw
+// consumes a variable number of uniforms (polar rejection) and caches a
+// spare normal, so it is not stream-compatible with Exp.
+func (r *Rand) LogNormal(mu, sigma float64) float64 {
+	if !(sigma > 0) {
+		panic("rng: LogNormal with non-positive sigma")
+	}
+	return math.Exp(mu + sigma*r.Normal())
+}
+
+// Gamma returns a Gamma(shape k, scale θ) variate (mean k·θ) using the
+// Marsaglia–Tsang squeeze method, with the U^{1/k} boost for shape < 1.
+// It panics for non-positive parameters.
+func (r *Rand) Gamma(shape, scale float64) float64 {
+	if !(shape > 0) || !(scale > 0) {
+		panic("rng: Gamma with non-positive shape or scale")
+	}
+	if shape < 1 {
+		// Gamma(k) = Gamma(k+1) · U^{1/k}  (Marsaglia & Tsang, 2000).
+		return r.Gamma(shape+1, scale) * math.Pow(r.Float64Open(), 1/shape)
+	}
+	d := shape - 1.0/3.0
+	c := 1 / math.Sqrt(9*d)
+	for {
+		x := r.Normal()
+		v := 1 + c*x
+		if v <= 0 {
+			continue
+		}
+		v = v * v * v
+		u := r.Float64Open()
+		if u < 1-0.0331*x*x*x*x {
+			return d * v * scale
+		}
+		if math.Log(u) < 0.5*x*x+d*(1-v+math.Log(v)) {
+			return d * v * scale
+		}
+	}
+}
+
 // Normal returns a standard normal variate using the Marsaglia polar
 // method. The spare variate is cached across calls.
 func (r *Rand) Normal() float64 {

@@ -5,17 +5,22 @@ import (
 	"fmt"
 
 	"amdahlyd/internal/core"
+	"amdahlyd/internal/failures"
 	"amdahlyd/internal/rng"
 )
 
 // Machine is the machine-level discrete-event simulator: every one of the
-// P processors is an independent exponential error source with rate
-// λ_ind, each error independently fail-stop with probability f. The job
-// runs the VC protocol on top. It validates the aggregated-rate model
-// used by the analysis and by Protocol: the superposition of P
-// per-processor processes is a platform process of rate P·λ_ind
-// (Proposition 1.2 of [13]), and the two simulators must agree
-// statistically on every observable.
+// P processors is an independent error source — exponential with rate
+// λ_ind by default, or any failures.Distribution renewal process via
+// NewMachineDist — each error independently fail-stop with probability f.
+// The job runs the VC protocol on top. In the exponential configuration
+// it validates the aggregated-rate model used by the analysis and by
+// Protocol: the superposition of P per-processor processes is a platform
+// process of rate P·λ_ind (Proposition 1.2 of [13]), and the two
+// simulators must agree statistically on every observable. In the
+// non-exponential configurations it is the pricing oracle of the
+// robustness studies — no aggregated fast path exists, because only the
+// exponential family is closed under superposition.
 //
 // Model-faithful details:
 //   - silent errors arriving while the job is verifying, checkpointing or
@@ -33,6 +38,10 @@ type Machine struct {
 	// one log and one multiply (0 when λ_ind = 0, in which case no error
 	// events are ever scheduled).
 	invLambdaInd float64
+	// dist, when non-nil, replaces the exponential law for per-processor
+	// inter-arrival times. The exponential fast path keeps dist nil so
+	// its draw sequence stays bit-identical to the historical simulator.
+	dist failures.Distribution
 
 	t          float64
 	checkpoint float64
@@ -42,8 +51,34 @@ type Machine struct {
 }
 
 // NewMachine builds a machine-level simulator for PATTERN(T, P) under the
-// model. P must be an integer processor count.
+// model, with exponential per-processor arrivals. P must be an integer
+// processor count.
 func NewMachine(m core.Model, t float64, procs int) (*Machine, error) {
+	return newMachine(m, t, procs, nil)
+}
+
+// NewMachineDist builds a machine-level simulator whose per-processor
+// inter-arrival times follow the given renewal law instead of the
+// model's exponential. The distribution should be calibrated to the
+// model's MTBF (mean 1/λ_ind) for the platform pressure to stay
+// comparable; the error-pressure guard is recomputed from the law's
+// actual mean, so a miscalibrated distribution is rejected rather than
+// allowed to swamp the simulator. Passing an Exponential distribution
+// is valid but takes the generic renewal path; use NewMachine for the
+// bit-pinned exponential fast path.
+func NewMachineDist(m core.Model, t float64, procs int, dist failures.Distribution) (*Machine, error) {
+	if dist == nil {
+		return nil, errors.New("sim: nil distribution (use NewMachine for the exponential fast path)")
+	}
+	// An invalid (e.g. infinite) mean would zero the effective rate and
+	// walk straight past the error-pressure guard.
+	if err := failures.ValidateMean(dist); err != nil {
+		return nil, err
+	}
+	return newMachine(m, t, procs, dist)
+}
+
+func newMachine(m core.Model, t float64, procs int, dist failures.Distribution) (*Machine, error) {
 	if err := m.Validate(); err != nil {
 		return nil, err
 	}
@@ -52,6 +87,17 @@ func NewMachine(m core.Model, t float64, procs int) (*Machine, error) {
 	}
 	p := float64(procs)
 	lf, ls := m.Rates(p)
+	if dist != nil {
+		// Guard with the law's true pressure, not the model's λ_ind: an
+		// uncalibrated distribution (mean far below the MTBF) would
+		// otherwise bypass the error-pressure check and the run could
+		// effectively never complete a pattern. The exponential-form
+		// estimate is an approximation for non-memoryless laws but the
+		// mean arrival rate is the right first-order input.
+		lambdaEff := 1 / dist.Mean()
+		lf = m.FailStopFrac * lambdaEff * p
+		ls = m.SilentFrac * lambdaEff * p
+	}
 	if expectedIters(lf, ls, t, m.Res.Verification.At(p), m.Res.Checkpoint.At(p),
 		m.Res.Recovery.At(p)) > maxSimIters {
 		return nil, ErrErrorPressure
@@ -60,6 +106,7 @@ func NewMachine(m core.Model, t float64, procs int) (*Machine, error) {
 		procs:      procs,
 		lambdaInd:  m.LambdaInd,
 		failFrac:   m.FailStopFrac,
+		dist:       dist,
 		t:          t,
 		checkpoint: m.Res.Checkpoint.At(p),
 		recovery:   m.Res.Recovery.At(p),
@@ -110,22 +157,30 @@ func (mc *Machine) SimulateRun(patterns int, r *rng.Rand) (PatternStats, error) 
 	var startPattern, startSegment func()
 	var onSegmentDone func()
 	var failStop, detectAndRecover func()
-	var scheduleProcError func(proc int, extraDelay float64)
+	var armProc func(proc int, delay float64)
 
-	scheduleProcError = func(proc int, extraDelay float64) {
-		if mc.lambdaInd == 0 {
-			return
+	// drawInterArrival samples the next per-processor gap: exponential on
+	// the fast path (one log, one multiply — the historical simulator's
+	// exact draw), the renewal law otherwise.
+	drawInterArrival := func() float64 {
+		if mc.dist != nil {
+			return mc.dist.Sample(r)
 		}
-		delay := extraDelay + r.ExpInv(mc.invLambdaInd)
+		return r.ExpInv(mc.invLambdaInd)
+	}
+
+	// armProc schedules the processor's next error at a known delay; the
+	// handler draws the following gap itself, so arrivals form a renewal
+	// process per processor regardless of job state.
+	armProc = func(proc int, delay float64) {
 		errEvents[proc] = eng.Schedule(delay, func() {
 			if done {
 				return
 			}
 			isFailStop := r.Float64() < mc.failFrac
-			// Re-arm this processor's error clock first: arrivals are a
-			// Poisson process per processor regardless of job state.
-			p := proc
-			scheduleProcError(p, 0)
+			// Re-arm this processor's error clock first: the next renewal
+			// interval starts at this arrival.
+			armProc(proc, drawInterArrival())
 			if isFailStop {
 				failStop()
 			} else if phase == phaseComputing {
@@ -138,17 +193,35 @@ func (mc *Machine) SimulateRun(patterns int, r *rng.Rand) (PatternStats, error) 
 		})
 	}
 
-	// Because exponential arrivals are memoryless, pausing a clock for a
-	// downtime and resuming it is statistically identical to discarding
-	// the pending arrival and drawing a fresh one after the pause. On
-	// downtime, cancel all pending arrivals and re-arm them with a fresh
-	// draw delayed by the downtime ("no error strikes during downtime").
+	scheduleProcError := func(proc int, extraDelay float64) {
+		if mc.lambdaInd == 0 && mc.dist == nil {
+			return
+		}
+		armProc(proc, extraDelay+drawInterArrival())
+	}
+
+	// Downtime pauses every per-processor error clock ("no error strikes
+	// during downtime"). For the memoryless exponential, discarding the
+	// pending arrival and drawing a fresh one after the pause is
+	// statistically identical to pausing — and is what the historical
+	// simulator did, so the fast path keeps that exact draw sequence. A
+	// renewal process remembers its age, so the generic path must shift
+	// the pending arrival past the pause instead of redrawing it.
 	restartClocksAfter := func(pause float64) {
 		for i, ev := range errEvents {
-			if ev != nil {
-				ev.Cancel()
+			if mc.dist == nil {
+				if ev != nil {
+					ev.Cancel()
+				}
+				scheduleProcError(i, pause)
+				continue
 			}
-			scheduleProcError(i, pause)
+			if ev == nil {
+				continue
+			}
+			remaining := ev.Time() - eng.Now()
+			ev.Cancel()
+			armProc(i, pause+remaining)
 		}
 	}
 
@@ -236,8 +309,13 @@ func (mc *Machine) SimulateRun(patterns int, r *rng.Rand) (PatternStats, error) 
 	return st, nil
 }
 
-// TheoreticalPlatformRate returns P·λ_ind, the superposed error rate the
-// aggregated model assumes; tests compare it against the observed rate.
+// TheoreticalPlatformRate returns the machine's true long-run superposed
+// error rate: P·λ_ind for the exponential configuration, P/mean for a
+// renewal law (which NewMachineDist allows to differ from the model
+// MTBF). Tests compare it against the observed rate.
 func (mc *Machine) TheoreticalPlatformRate() float64 {
+	if mc.dist != nil {
+		return float64(mc.procs) / mc.dist.Mean()
+	}
 	return float64(mc.procs) * mc.lambdaInd
 }

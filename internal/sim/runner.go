@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 
 	"amdahlyd/internal/core"
+	"amdahlyd/internal/failures"
 	"amdahlyd/internal/rng"
 	"amdahlyd/internal/stats"
 )
@@ -29,6 +30,12 @@ type RunConfig struct {
 	// Machine switches to the machine-level event simulator (P must then
 	// be integral); default is the fast pattern-level simulator.
 	Machine bool
+	// Dist, when non-nil, replaces the exponential per-processor
+	// inter-arrival law with an arbitrary renewal process (requires
+	// Machine: the pattern-level simulator's closed-form thinning is
+	// exponential-only). Calibrate it to the model's MTBF so the platform
+	// pressure stays comparable; see failures.Distribution.
+	Dist failures.Distribution
 }
 
 func (c RunConfig) withDefaults() RunConfig {
@@ -75,12 +82,24 @@ func Simulate(m core.Model, t, p float64, cfg RunConfig) (RunResult, error) {
 	}
 
 	var runOne func(r *rng.Rand) (PatternStats, error)
+	if cfg.Dist != nil && !cfg.Machine {
+		return RunResult{}, errors.New(
+			"sim: non-exponential distributions need the machine-level simulator (set Machine)")
+	}
 	if cfg.Machine {
 		procs := int(p)
 		if float64(procs) != p {
 			return RunResult{}, errors.New("sim: machine-level simulation needs integral P")
 		}
-		mc, err := NewMachine(m, t, procs)
+		var (
+			mc  *Machine
+			err error
+		)
+		if cfg.Dist != nil {
+			mc, err = NewMachineDist(m, t, procs, cfg.Dist)
+		} else {
+			mc, err = NewMachine(m, t, procs)
+		}
 		if err != nil {
 			return RunResult{}, err
 		}
@@ -88,14 +107,7 @@ func Simulate(m core.Model, t, p float64, cfg RunConfig) (RunResult, error) {
 			return mc.SimulateRun(cfg.Patterns, r)
 		}
 	} else {
-		if err := m.Validate(); err != nil {
-			return RunResult{}, err
-		}
-		if p < 1 {
-			return RunResult{}, fmt.Errorf("sim: invalid pattern T=%g, P=%g", t, p)
-		}
-		fz := m.Freeze(p)
-		pr, err := NewProtocolFrozen(&fz, t)
+		pr, err := NewProtocol(m, t, p)
 		if err != nil {
 			return RunResult{}, err
 		}

@@ -1,0 +1,54 @@
+package speedup
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNewGustafsonValidation(t *testing.T) {
+	for _, bad := range []float64{-0.1, 1.5, 2, math.NaN()} {
+		if _, err := NewGustafson(bad); err == nil {
+			t.Errorf("NewGustafson(%g) accepted", bad)
+		}
+	}
+	for _, ok := range []float64{0, 0.1, 0.5, 1} {
+		g, err := NewGustafson(ok)
+		if err != nil {
+			t.Errorf("NewGustafson(%g) rejected: %v", ok, err)
+			continue
+		}
+		if err := Validate(g); err != nil {
+			t.Errorf("valid Gustafson fails Validate: %v", err)
+		}
+	}
+	// The bug the constructor guards: α = 2 is a decreasing profile that
+	// Validate also catches.
+	if err := Validate(Gustafson{Alpha: 2}); err == nil {
+		t.Error("Validate missed decreasing Gustafson{Alpha: 2}")
+	}
+}
+
+func TestNewPowerLawValidation(t *testing.T) {
+	for _, bad := range []float64{0, -0.5, 1.1, math.NaN()} {
+		if _, err := NewPowerLaw(bad); err == nil {
+			t.Errorf("NewPowerLaw(%g) accepted", bad)
+		}
+	}
+	for _, ok := range []float64{0.1, 0.7, 1} {
+		w, err := NewPowerLaw(ok)
+		if err != nil {
+			t.Errorf("NewPowerLaw(%g) rejected: %v", ok, err)
+			continue
+		}
+		if err := Validate(w); err != nil {
+			t.Errorf("valid PowerLaw fails Validate: %v", err)
+		}
+	}
+	// γ = 0 is the silent flat profile: S(P) = 1 for every P. Validate
+	// accepts it as non-decreasing, which is exactly why the constructor
+	// must reject it.
+	flat := PowerLaw{Gamma: 0}
+	if s := flat.Speedup(1024); s != 1 {
+		t.Fatalf("flat profile S(1024) = %g", s)
+	}
+}

@@ -94,8 +94,18 @@ func (PerfectlyParallel) Name() string { return "perfectly-parallel" }
 
 // Gustafson models scaled speedup S(P) = α + (1−α)·P (weak scaling):
 // the parallel part grows with the machine. Extension beyond the paper.
+// Construct via NewGustafson: α outside [0, 1] silently yields a
+// decreasing (α > 1) or super-linear (α < 0) S(P).
 type Gustafson struct {
 	Alpha float64 // sequential fraction of the scaled workload
+}
+
+// NewGustafson validates α ∈ [0, 1] and returns the profile.
+func NewGustafson(alpha float64) (Gustafson, error) {
+	if alpha < 0 || alpha > 1 || math.IsNaN(alpha) {
+		return Gustafson{}, fmt.Errorf("speedup: gustafson sequential fraction α = %g outside [0,1]", alpha)
+	}
+	return Gustafson{Alpha: alpha}, nil
 }
 
 // Speedup returns α + (1−α)P.
@@ -114,9 +124,18 @@ func (g Gustafson) Name() string { return fmt.Sprintf("gustafson(α=%g)", g.Alph
 
 // PowerLaw models sublinear scaling S(P) = P^Gamma with 0 < Gamma <= 1,
 // a common empirical fit for communication-bound codes. Extension beyond
-// the paper.
+// the paper. Construct via NewPowerLaw: Gamma = 0 silently yields a flat
+// S(P) = 1 (processors do nothing) and Gamma > 1 super-linear scaling.
 type PowerLaw struct {
 	Gamma float64
+}
+
+// NewPowerLaw validates γ ∈ (0, 1] and returns the profile.
+func NewPowerLaw(gamma float64) (PowerLaw, error) {
+	if !(gamma > 0) || gamma > 1 || math.IsNaN(gamma) {
+		return PowerLaw{}, fmt.Errorf("speedup: power-law exponent γ = %g outside (0,1]", gamma)
+	}
+	return PowerLaw{Gamma: gamma}, nil
 }
 
 // Speedup returns P^γ.

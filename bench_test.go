@@ -1,7 +1,12 @@
 package amdahlyd
 
 import (
+	"bytes"
+	"context"
+	"fmt"
 	"math"
+	"net/http"
+	"net/http/httptest"
 	"testing"
 
 	"amdahlyd/internal/baselines"
@@ -13,6 +18,7 @@ import (
 	"amdahlyd/internal/optimize"
 	"amdahlyd/internal/platform"
 	"amdahlyd/internal/rng"
+	"amdahlyd/internal/service"
 	"amdahlyd/internal/sim"
 )
 
@@ -343,4 +349,103 @@ func BenchmarkSimulateCampaign(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// ---------------------------------------------------------------------
+// Service-layer benchmarks (cmd/amdahl-serve): the cold-vs-warm pair is
+// the acceptance record of the PR-3 cache — warm requests must be at
+// least 10× cheaper than cold solves.
+// ---------------------------------------------------------------------
+
+// BenchmarkServiceOptimizeCold measures an engine optimize that can never
+// hit the cache (λ_ind varies per request): the full nested (T, P) solve
+// plus the service bookkeeping (canonical key, single-flight, scheduler).
+func BenchmarkServiceOptimizeCold(b *testing.B) {
+	e := service.NewEngine(service.Options{ResultCacheSize: 16})
+	m := heraModel(b, costmodel.Scenario3, 0.1)
+	ctx := context.Background()
+	for i := 0; i < b.N; i++ {
+		mi := m
+		mi.LambdaInd = m.LambdaInd * (1 + float64(i)*1e-9)
+		if _, _, err := e.Optimize(ctx, mi, optimize.PatternOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkServiceOptimizeWarm measures the same request repeated: one
+// LRU probe under the canonical model key.
+func BenchmarkServiceOptimizeWarm(b *testing.B) {
+	e := service.NewEngine(service.Options{})
+	m := heraModel(b, costmodel.Scenario3, 0.1)
+	ctx := context.Background()
+	if _, _, err := e.Optimize(ctx, m, optimize.PatternOptions{}); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, cached, err := e.Optimize(ctx, m, optimize.PatternOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !cached {
+			b.Fatal("warm request missed the cache")
+		}
+	}
+}
+
+// BenchmarkServiceEvaluateWarm measures a warm evaluate: a cached Frozen
+// probe plus the handful of kernel calls.
+func BenchmarkServiceEvaluateWarm(b *testing.B) {
+	e := service.NewEngine(service.Options{})
+	m := heraModel(b, costmodel.Scenario1, 0.1)
+	if _, err := e.Evaluate(m, 6240, 219); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Evaluate(m, 6240, 219); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchHTTPOptimize drives the full HTTP surface (request parsing, model
+// build, engine, JSON response) against an in-process listener.
+func benchHTTPOptimize(b *testing.B, body func(i int) []byte) {
+	ts := httptest.NewServer(service.NewServer(service.NewEngine(service.Options{})))
+	defer ts.Close()
+	client := ts.Client()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := client.Post(ts.URL+"/v1/optimize", "application/json", bytes.NewReader(body(i)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			b.Fatalf("status %d", resp.StatusCode)
+		}
+		if _, err := bytes.NewBuffer(nil).ReadFrom(resp.Body); err != nil {
+			b.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+}
+
+// BenchmarkServiceHTTPOptimizeCold is the end-to-end cold request: every
+// iteration carries a distinct λ override, so every request solves.
+func BenchmarkServiceHTTPOptimizeCold(b *testing.B) {
+	base := platform.Hera().LambdaInd
+	benchHTTPOptimize(b, func(i int) []byte {
+		return []byte(fmt.Sprintf(
+			`{"model":{"platform":"hera","scenario":3,"lambda":%.17g}}`,
+			base*(1+float64(i+1)*1e-9)))
+	})
+}
+
+// BenchmarkServiceHTTPOptimizeWarm is the end-to-end warm request; the
+// gap to the cold benchmark is what the cache buys a real client.
+func BenchmarkServiceHTTPOptimizeWarm(b *testing.B) {
+	body := []byte(`{"model":{"platform":"hera","scenario":3}}`)
+	benchHTTPOptimize(b, func(int) []byte { return body })
 }

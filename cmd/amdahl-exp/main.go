@@ -18,10 +18,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
 
@@ -32,12 +34,18 @@ import (
 )
 
 func main() {
+	// An interrupt aborts in-flight Monte-Carlo campaigns via the context
+	// threaded through the experiment drivers, instead of leaving a
+	// full-budget figure suite running to completion.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	args := os.Args[1:]
 	var err error
 	if len(args) > 0 && args[0] == "robustness" {
-		err = runRobustness(args[1:])
+		err = runRobustness(ctx, args[1:])
 	} else {
-		err = run(args)
+		err = run(ctx, args)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "amdahl-exp:", err)
@@ -65,7 +73,7 @@ func buildConfig(quick bool, seed uint64, runs, patterns int) experiments.Config
 
 // runRobustness drives the non-exponential robustness study (extension
 // beyond the paper; see DESIGN.md, distribution substrate).
-func runRobustness(args []string) error {
+func runRobustness(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("amdahl-exp robustness", flag.ContinueOnError)
 	platName := fs.String("platform", "hera", "platform supplying rates and costs")
 	dist := fs.String("dist", "weibull", "true failure law: weibull, lognormal or gamma (exponential = sanity baseline)")
@@ -114,7 +122,7 @@ func runRobustness(args []string) error {
 		}
 		scenarios = []costmodel.Scenario{sc}
 	}
-	res, err := experiments.RobustnessStudy(pl, *dist, shapes, scenarios, cfg)
+	res, err := experiments.RobustnessStudyContext(ctx, pl, *dist, shapes, scenarios, cfg)
 	if err != nil {
 		return err
 	}
@@ -133,7 +141,7 @@ type renderable interface {
 	WriteCSV(w io.Writer) error
 }
 
-func run(args []string) error {
+func run(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("amdahl-exp", flag.ContinueOnError)
 	fig := fs.String("fig", "all", "figure to regenerate: 2, 3, 4, 5, 6, 7 or all")
 	platName := fs.String("platform", "", "platform for Figs. 3-7 (default hera) or Fig. 2 (default all)")
@@ -177,25 +185,25 @@ func run(args []string) error {
 		)
 		switch strings.TrimSpace(f) {
 		case "2":
-			res, err = experiments.Fig2(fig2Platforms, cfg)
+			res, err = experiments.Fig2Context(ctx, fig2Platforms, cfg)
 		case "3":
-			res, err = experiments.Fig3(sweepPlatform, nil, cfg)
+			res, err = experiments.Fig3Context(ctx, sweepPlatform, nil, cfg)
 		case "4":
-			res, err = experiments.Fig4(sweepPlatform, nil, cfg)
+			res, err = experiments.Fig4Context(ctx, sweepPlatform, nil, cfg)
 		case "5":
-			res, err = experiments.Fig5(sweepPlatform, nil, cfg)
+			res, err = experiments.Fig5Context(ctx, sweepPlatform, nil, cfg)
 		case "6":
-			res, err = experiments.Fig6(sweepPlatform, nil, cfg)
+			res, err = experiments.Fig6Context(ctx, sweepPlatform, nil, cfg)
 		case "7":
-			res, err = experiments.Fig7(sweepPlatform, nil, cfg)
+			res, err = experiments.Fig7Context(ctx, sweepPlatform, nil, cfg)
 		case "profiles":
 			// Extension beyond the paper: speedup profiles other than
 			// Amdahl's law (Section V future work).
-			res, err = experiments.ProfileStudy(sweepPlatform, costmodel.Scenario1, nil, cfg)
+			res, err = experiments.ProfileStudyContext(ctx, sweepPlatform, costmodel.Scenario1, nil, cfg)
 		case "baselines":
 			// The intro's motivation quantified: fail-stop-only
 			// Young/Daly tuning vs the VC-aware optimum, all platforms.
-			res, err = experiments.BaselineStudy(fig2Platforms, costmodel.Scenario1, cfg)
+			res, err = experiments.BaselineStudyContext(ctx, fig2Platforms, costmodel.Scenario1, cfg)
 		default:
 			return fmt.Errorf("unknown figure %q (want 2-7, profiles, baselines, or all)", f)
 		}

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"io"
 	"os"
 	"path/filepath"
@@ -28,7 +29,7 @@ func capture(t *testing.T, fn func() error) (string, error) {
 
 func TestRunFig2Quick(t *testing.T) {
 	out, err := capture(t, func() error {
-		return run([]string{"-fig", "2", "-quick", "-platform", "hera",
+		return run(context.Background(), []string{"-fig", "2", "-quick", "-platform", "hera",
 			"-runs", "10", "-patterns", "20"})
 	})
 	if err != nil {
@@ -43,7 +44,7 @@ func TestRunFig2Quick(t *testing.T) {
 
 func TestRunFig5PrintsSlopes(t *testing.T) {
 	out, err := capture(t, func() error {
-		return run([]string{"-fig", "5", "-quick", "-runs", "10", "-patterns", "20"})
+		return run(context.Background(), []string{"-fig", "5", "-quick", "-runs", "10", "-patterns", "20"})
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -56,7 +57,7 @@ func TestRunFig5PrintsSlopes(t *testing.T) {
 func TestRunWritesCSV(t *testing.T) {
 	dir := t.TempDir()
 	_, err := capture(t, func() error {
-		return run([]string{"-fig", "7", "-quick", "-out", dir,
+		return run(context.Background(), []string{"-fig", "7", "-quick", "-out", dir,
 			"-runs", "10", "-patterns", "20"})
 	})
 	if err != nil {
@@ -73,7 +74,7 @@ func TestRunWritesCSV(t *testing.T) {
 
 func TestRunProfilesExtension(t *testing.T) {
 	out, err := capture(t, func() error {
-		return run([]string{"-fig", "profiles", "-quick", "-runs", "10", "-patterns", "20"})
+		return run(context.Background(), []string{"-fig", "profiles", "-quick", "-runs", "10", "-patterns", "20"})
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -84,10 +85,10 @@ func TestRunProfilesExtension(t *testing.T) {
 }
 
 func TestRunErrors(t *testing.T) {
-	if err := run([]string{"-fig", "99"}); err == nil {
+	if err := run(context.Background(), []string{"-fig", "99"}); err == nil {
 		t.Error("unknown figure accepted")
 	}
-	if err := run([]string{"-platform", "unknown"}); err == nil {
+	if err := run(context.Background(), []string{"-platform", "unknown"}); err == nil {
 		t.Error("unknown platform accepted")
 	}
 }
@@ -95,7 +96,7 @@ func TestRunErrors(t *testing.T) {
 func TestRunRobustnessQuick(t *testing.T) {
 	dir := t.TempDir()
 	out, err := capture(t, func() error {
-		return runRobustness([]string{"-dist", "weibull", "-shape", "0.7",
+		return runRobustness(context.Background(), []string{"-dist", "weibull", "-shape", "0.7",
 			"-scenario", "1", "-quick", "-runs", "10", "-patterns", "20",
 			"-out", dir})
 	})
@@ -117,34 +118,34 @@ func TestRunRobustnessQuick(t *testing.T) {
 }
 
 func TestRunRobustnessRejectsBadFlags(t *testing.T) {
-	if err := runRobustness([]string{"-dist", "cauchy"}); err == nil {
+	if err := runRobustness(context.Background(), []string{"-dist", "cauchy"}); err == nil {
 		t.Error("unknown distribution accepted")
 	}
-	if err := runRobustness([]string{"-scenario", "9"}); err == nil {
+	if err := runRobustness(context.Background(), []string{"-scenario", "9"}); err == nil {
 		t.Error("scenario 9 accepted")
 	}
-	if err := runRobustness([]string{"-platform", "nonesuch"}); err == nil {
+	if err := runRobustness(context.Background(), []string{"-platform", "nonesuch"}); err == nil {
 		t.Error("unknown platform accepted")
 	}
 }
 
 func TestRunRobustnessExponentialRejectsShape(t *testing.T) {
-	if err := runRobustness([]string{"-dist", "exponential", "-shape", "0.3"}); err == nil {
+	if err := runRobustness(context.Background(), []string{"-dist", "exponential", "-shape", "0.3"}); err == nil {
 		t.Error("-shape with -dist exponential accepted")
 	}
 }
 
 func TestRunRejectsStrayPositional(t *testing.T) {
-	if err := run([]string{"robustnes", "-quick"}); err == nil {
+	if err := run(context.Background(), []string{"robustnes", "-quick"}); err == nil {
 		t.Error("misspelled subcommand fell through to the figure suite")
 	}
-	if err := runRobustness([]string{"extra"}); err == nil {
+	if err := runRobustness(context.Background(), []string{"extra"}); err == nil {
 		t.Error("stray positional accepted by robustness")
 	}
 }
 
 func TestRunRobustnessLognormalNeedsShape(t *testing.T) {
-	if err := runRobustness([]string{"-dist", "lognormal", "-quick"}); err == nil {
+	if err := runRobustness(context.Background(), []string{"-dist", "lognormal", "-quick"}); err == nil {
 		t.Error("lognormal without explicit -shape accepted")
 	}
 }

@@ -1,0 +1,119 @@
+// Command amdahl-serve exposes the Amdahl/Young-Daly analyses as a
+// long-running JSON-over-HTTP planning service: evaluate (exact overhead
+// and pattern time at a given (T, P)), optimize (the numerical optimum
+// (T*, P*)) and simulate (seeded Monte-Carlo campaigns, including the
+// non-exponential -dist laws).
+//
+// One process amortizes repeated configurations across requests: compiled
+// evaluators, optimizer results and campaign results are cached under
+// canonical model keys, concurrent identical requests solve once
+// (single-flight), heavy jobs run on a bounded scheduler, and a client
+// hang-up cancels its in-flight campaign. Results are bit-identical to
+// the amdahl-opt / amdahl-sim CLI tools for the same parameters.
+//
+// Usage:
+//
+//	amdahl-serve -addr :8080
+//	curl -s localhost:8080/v1/optimize -d '{"model":{"platform":"hera","scenario":1}}'
+//	curl -s localhost:8080/v1/simulate -d '{"model":{"platform":"hera"},"runs":100,"seed":1}'
+//	curl -s localhost:8080/v1/stats
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"time"
+
+	"amdahlyd/internal/service"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "amdahl-serve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("amdahl-serve", flag.ContinueOnError)
+	addr := fs.String("addr", ":8080", "listen address")
+	frozenCache := fs.Int("frozen-cache", 0, "compiled-evaluator cache entries (0 = default 4096)")
+	resultCache := fs.Int("result-cache", 0, "optimizer/campaign result cache entries per cache (0 = default 1024)")
+	maxConcurrent := fs.Int("max-concurrent", 0, "concurrent optimize/simulate jobs (0 = GOMAXPROCS)")
+	simWorkers := fs.Int("sim-workers", 0, "worker pool per campaign (0 = 1; results are worker-count independent)")
+	quiet := fs.Bool("quiet", false, "suppress per-request logging")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	engine := service.NewEngine(service.Options{
+		FrozenCacheSize: *frozenCache,
+		ResultCacheSize: *resultCache,
+		MaxConcurrent:   *maxConcurrent,
+		SimWorkers:      *simWorkers,
+	})
+	var handler http.Handler = service.NewServer(engine)
+	if !*quiet {
+		handler = logRequests(handler)
+	}
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           handler,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	// Graceful shutdown: an interrupt stops accepting, lets in-flight
+	// requests finish (their own contexts still cancel on client
+	// hang-up), and forces exit after a grace period.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("amdahl-serve listening on %s", *addr)
+		errc <- srv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	log.Printf("amdahl-serve shutting down")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		return err
+	}
+	if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}
+
+// logRequests is a minimal request-log middleware.
+func logRequests(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		next.ServeHTTP(sw, r)
+		log.Printf("%s %s %d %s", r.Method, r.URL.Path, sw.status, time.Since(start))
+	})
+}
+
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(status int) {
+	w.status = status
+	w.ResponseWriter.WriteHeader(status)
+}

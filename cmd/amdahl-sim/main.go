@@ -16,6 +16,7 @@ import (
 	"amdahlyd/internal/costmodel"
 	"amdahlyd/internal/experiments"
 	"amdahlyd/internal/platform"
+	"amdahlyd/internal/report"
 	"amdahlyd/internal/sim"
 )
 
@@ -75,11 +76,13 @@ func run(args []string) error {
 		return err
 	}
 
+	// CI95 goes through report.Fmt: a single-run campaign has no interval
+	// (NaN) and must read "-", not "NaN".
 	exactE := m.ExactPatternTime(t, p)
-	fmt.Printf("mean pattern time : %.6g s ± %.2g (CI95), exact formula %.6g s\n",
-		res.MeanPatternTime.Mean, res.MeanPatternTime.CI95, exactE)
-	fmt.Printf("execution overhead: %.6g ± %.2g (CI95), exact formula %.6g\n",
-		res.Overhead.Mean, res.Overhead.CI95, m.Overhead(t, p))
+	fmt.Printf("mean pattern time : %.6g s ± %s (CI95), exact formula %.6g s\n",
+		res.MeanPatternTime.Mean, report.Fmt(res.MeanPatternTime.CI95), exactE)
+	fmt.Printf("execution overhead: %.6g ± %s (CI95), exact formula %.6g\n",
+		res.Overhead.Mean, report.Fmt(res.Overhead.CI95), m.Overhead(t, p))
 	fmt.Printf("events            : %d fail-stop, %d silent detections, %d recoveries\n",
 		res.FailStops, res.SilentDetections, res.Recoveries)
 	return nil

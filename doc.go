@@ -16,6 +16,8 @@
 //     iterative-relaxation comparators;
 //   - internal/multilevel — a two-level pattern extension (future work
 //     in the paper's Section V);
+//   - internal/service — the long-running evaluation service behind
+//     cmd/amdahl-serve;
 //   - substrates: speedup, costmodel, platform, failures, rng, stats,
 //     xmath, report.
 //
@@ -50,11 +52,31 @@
 // against a re-tuned period. Exponential fast paths stay bit-identical
 // for fixed seeds, pinned by golden tests. See DESIGN.md.
 //
+// # Service layer
+//
+// internal/service + cmd/amdahl-serve turn the analyses into a planning
+// API: JSON endpoints for evaluate (exact overhead/pattern time at a
+// given (T, P)), optimize ((T*, P*) via internal/optimize) and simulate
+// (seeded Monte-Carlo campaigns, machine-level and -dist laws included).
+// The engine caches compiled Frozen evaluators, optimizer results and
+// campaign results in sharded LRUs under canonical model keys
+// (core.Model.CacheKey: exact hex float encoding, structural profile
+// keys), deduplicates concurrent identical requests (single-flight, one
+// solve per key), bounds heavy jobs on a scheduler, and threads request
+// contexts into sim.SimulateContext so a client hang-up aborts its
+// campaign. Responses are bit-identical to the equivalent CLI invocation
+// for fixed seeds; campaigns replay from cache bit-exactly because they
+// are pure functions of their seeded configuration. Cancellation is also
+// available library-side: sim.SimulateContext and the ...Context
+// experiment drivers (Fig2Context et al.) abort between runs and fail
+// fast on the first error. See DESIGN.md, "Service layer".
+//
 // Executables: cmd/amdahl-opt (optimal patterns), cmd/amdahl-sim
 // (Monte-Carlo pricing of one pattern), cmd/amdahl-exp (regenerate the
 // paper's figures plus the profile, baseline and robustness extension
-// studies), and cmd/amdahl-trace (generate, verify and replay failure
-// traces, exponential or not). Runnable examples live in examples/.
+// studies), cmd/amdahl-trace (generate, verify and replay failure
+// traces, exponential or not), and cmd/amdahl-serve (the HTTP planning
+// service). Runnable examples live in examples/.
 //
 // The benchmarks in this package regenerate each of the paper's figures
 // (BenchmarkFig2 … BenchmarkFig7) at a reduced Monte-Carlo budget and

@@ -1,0 +1,134 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"amdahlyd/internal/costmodel"
+	"amdahlyd/internal/speedup"
+)
+
+func keyModel(t *testing.T) Model {
+	t.Helper()
+	prof, err := speedup.NewAmdahl(0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Model{
+		LambdaInd:    1e-9,
+		FailStopFrac: 0.8,
+		SilentFrac:   0.2,
+		Res: costmodel.New(
+			costmodel.Checkpoint{A: 120, B: 3, C: 0.001},
+			costmodel.Verification{V: 20, U: 1},
+			3600),
+		Profile: prof,
+	}
+}
+
+func mustKey(t *testing.T, m Model) string {
+	t.Helper()
+	k, err := m.CacheKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k
+}
+
+func TestCacheKeyDeterministic(t *testing.T) {
+	a, b := mustKey(t, keyModel(t)), mustKey(t, keyModel(t))
+	if a != b {
+		t.Errorf("identical models keyed differently:\n%s\n%s", a, b)
+	}
+}
+
+// Every observable parameter must perturb the key, including a change in
+// the last ulp (the hex encoding is exact, not %g-rounded).
+func TestCacheKeySensitivity(t *testing.T) {
+	base := mustKey(t, keyModel(t))
+	perturb := []struct {
+		name string
+		mut  func(*Model)
+	}{
+		{"lambda", func(m *Model) { m.LambdaInd *= 2 }},
+		{"lambda-ulp", func(m *Model) { m.LambdaInd = math.Nextafter(m.LambdaInd, 1) }},
+		{"failstop", func(m *Model) { m.FailStopFrac = 0.7 }},
+		{"silent", func(m *Model) { m.SilentFrac = 0.3 }},
+		{"checkpoint-a", func(m *Model) { m.Res.Checkpoint.A++ }},
+		{"checkpoint-b", func(m *Model) { m.Res.Checkpoint.B++ }},
+		{"checkpoint-c", func(m *Model) { m.Res.Checkpoint.C *= 2 }},
+		{"recovery", func(m *Model) { m.Res.Recovery.A++ }},
+		{"verify-v", func(m *Model) { m.Res.Verification.V++ }},
+		{"verify-u", func(m *Model) { m.Res.Verification.U++ }},
+		{"downtime", func(m *Model) { m.Res.Downtime = 0 }},
+		{"profile-alpha", func(m *Model) { m.Profile = speedup.Amdahl{Alpha: 0.2} }},
+		{"profile-type", func(m *Model) { m.Profile = speedup.Gustafson{Alpha: 0.1} }},
+		{"profile-pp", func(m *Model) { m.Profile = speedup.PerfectlyParallel{} }},
+		{"profile-powerlaw", func(m *Model) { m.Profile = speedup.PowerLaw{Gamma: 0.9} }},
+	}
+	seen := map[string]string{base: "base"}
+	for _, p := range perturb {
+		m := keyModel(t)
+		p.mut(&m)
+		k := mustKey(t, m)
+		if prev, dup := seen[k]; dup {
+			t.Errorf("perturbation %q collides with %q", p.name, prev)
+		}
+		seen[k] = p.name
+	}
+}
+
+// Amdahl(α) and Gustafson(α) share the parameter but not the formula:
+// the type must be part of the key even when Name-style formatting of
+// the parameters would agree.
+func TestCacheKeyProfileTypesDistinct(t *testing.T) {
+	m := keyModel(t)
+	m.Profile = speedup.Amdahl{Alpha: 0.25}
+	a := mustKey(t, m)
+	m.Profile = speedup.Gustafson{Alpha: 0.25}
+	g := mustKey(t, m)
+	if a == g {
+		t.Error("Amdahl and Gustafson with equal α share a key")
+	}
+}
+
+func TestCacheKeyRejectsNaNAndNilProfile(t *testing.T) {
+	m := keyModel(t)
+	m.LambdaInd = math.NaN()
+	if _, err := m.CacheKey(); err == nil {
+		t.Error("NaN λ_ind keyed without error")
+	}
+	m = keyModel(t)
+	m.Profile = nil
+	if _, err := m.CacheKey(); err == nil {
+		t.Error("nil profile keyed without error")
+	}
+	m = keyModel(t)
+	m.Profile = speedup.Amdahl{Alpha: math.NaN()}
+	if _, err := m.CacheKey(); err == nil {
+		t.Error("NaN α keyed without error")
+	}
+}
+
+type customKeyedProfile struct{ speedup.PerfectlyParallel }
+
+func (customKeyedProfile) CacheKey() string { return "my-profile-v2" }
+
+type namedOnlyProfile struct{ speedup.PerfectlyParallel }
+
+func (namedOnlyProfile) Name() string { return "named-only" }
+
+func TestCacheKeyCustomProfiles(t *testing.T) {
+	m := keyModel(t)
+	m.Profile = customKeyedProfile{}
+	k := mustKey(t, m)
+	if !strings.Contains(k, "custom:my-profile-v2") {
+		t.Errorf("CacheKeyer profile ignored: %s", k)
+	}
+	m.Profile = namedOnlyProfile{}
+	k = mustKey(t, m)
+	if !strings.Contains(k, "named:named-only") {
+		t.Errorf("Name fallback missing: %s", k)
+	}
+}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -42,9 +43,14 @@ type BaselineStudyResult struct {
 // BaselineStudy runs the comparison on the given platforms under one
 // scenario at α = cfg.Alpha.
 func BaselineStudy(platforms []platform.Platform, sc costmodel.Scenario, cfg Config) (*BaselineStudyResult, error) {
+	return BaselineStudyContext(context.Background(), platforms, sc, cfg)
+}
+
+// BaselineStudyContext is BaselineStudy with cancellation.
+func BaselineStudyContext(ctx context.Context, platforms []platform.Platform, sc costmodel.Scenario, cfg Config) (*BaselineStudyResult, error) {
 	cfg = cfg.withDefaults()
 	cells := make([]BaselineCell, len(platforms))
-	err := parallelFor(len(platforms), cfg.Workers, func(i int) error {
+	err := parallelFor(ctx, len(platforms), cfg.Workers, func(ctx context.Context, i int) error {
 		pl := platforms[i]
 		label := fmt.Sprintf("baselines/%s/%v", pl.Name, sc)
 		m, err := BuildModel(pl, sc, cfg.Alpha, cfg.Downtime)
@@ -55,7 +61,7 @@ func BaselineStudy(platforms []platform.Platform, sc costmodel.Scenario, cfg Con
 		if err != nil {
 			return err
 		}
-		opt, err := simulateEval(m, num.Solution, num.AtPBound, cfg, label+"/optimal")
+		opt, err := simulateEval(ctx, m, num.Solution, num.AtPBound, cfg, label+"/optimal")
 		if err != nil {
 			return err
 		}
@@ -64,7 +70,7 @@ func BaselineStudy(platforms []platform.Platform, sc costmodel.Scenario, cfg Con
 		if err != nil {
 			return err
 		}
-		youngEval, err := simulateEval(m, solutionAt(young.T, num.P), false, cfg, label+"/young")
+		youngEval, err := simulateEval(ctx, m, solutionAt(young.T, num.P), false, cfg, label+"/young")
 		if err != nil {
 			return err
 		}
@@ -74,7 +80,7 @@ func BaselineStudy(platforms []platform.Platform, sc costmodel.Scenario, cfg Con
 		if err != nil {
 			return err
 		}
-		dalyEval, err := simulateEval(m, solutionAt(daly.T, num.P), false, cfg, label+"/daly")
+		dalyEval, err := simulateEval(ctx, m, solutionAt(daly.T, num.P), false, cfg, label+"/daly")
 		if err != nil {
 			return err
 		}
@@ -84,7 +90,7 @@ func BaselineStudy(platforms []platform.Platform, sc costmodel.Scenario, cfg Con
 		if err != nil {
 			return err
 		}
-		relaxEval, err := simulateEval(m, relax, false, cfg, label+"/relaxation")
+		relaxEval, err := simulateEval(ctx, m, relax, false, cfg, label+"/relaxation")
 		if err != nil {
 			return err
 		}

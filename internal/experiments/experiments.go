@@ -10,6 +10,7 @@
 package experiments
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -154,8 +155,8 @@ func cellSeed(master uint64, label string) uint64 {
 // applied far outside its validity region, e.g. weak-scaling profiles at
 // the processor search bound) is returned with NaN simulated fields and
 // the model prediction intact.
-func simulateEval(m core.Model, sol core.Solution, atBound bool, cfg Config, label string) (Eval, error) {
-	res, err := sim.Simulate(m, sol.T, sol.P, sim.RunConfig{
+func simulateEval(ctx context.Context, m core.Model, sol core.Solution, atBound bool, cfg Config, label string) (Eval, error) {
+	res, err := sim.SimulateContext(ctx, m, sol.T, sol.P, sim.RunConfig{
 		Runs:     cfg.Runs,
 		Patterns: cfg.Patterns,
 		Seed:     cellSeed(cfg.Seed, label),
@@ -188,7 +189,7 @@ func simulateEval(m core.Model, sol core.Solution, atBound bool, cfg Config, lab
 
 // solveFirstOrder returns the simulated first-order solution, or nil when
 // the first-order analysis has no bounded optimum (scenario 6, or α = 0).
-func solveFirstOrder(m core.Model, cfg Config, label string) (*Eval, error) {
+func solveFirstOrder(ctx context.Context, m core.Model, cfg Config, label string) (*Eval, error) {
 	sol, err := m.FirstOrder()
 	if errors.Is(err, core.ErrNoFirstOrder) {
 		return nil, nil
@@ -199,7 +200,7 @@ func solveFirstOrder(m core.Model, cfg Config, label string) (*Eval, error) {
 	if sol.P < 1 {
 		sol.P = 1
 	}
-	ev, err := simulateEval(m, sol, false, cfg, label+"/first-order")
+	ev, err := simulateEval(ctx, m, sol, false, cfg, label+"/first-order")
 	if err != nil {
 		return nil, err
 	}
@@ -207,27 +208,33 @@ func solveFirstOrder(m core.Model, cfg Config, label string) (*Eval, error) {
 }
 
 // solveNumerical returns the simulated numerical optimum.
-func solveNumerical(m core.Model, cfg Config, label string) (*Eval, error) {
+func solveNumerical(ctx context.Context, m core.Model, cfg Config, label string) (*Eval, error) {
 	num, err := optimize.OptimalPattern(m, optimize.PatternOptions{})
 	if err != nil {
 		return nil, fmt.Errorf("experiments: optimizing %s: %w", label, err)
 	}
-	ev, err := simulateEval(m, num.Solution, num.AtPBound, cfg, label+"/numerical")
+	ev, err := simulateEval(ctx, m, num.Solution, num.AtPBound, cfg, label+"/numerical")
 	if err != nil {
 		return nil, err
 	}
 	return &ev, nil
 }
 
-// parallelFor runs fn(i) for i in [0, n) on up to workers goroutines and
-// returns the first error.
-func parallelFor(n, workers int, fn func(i int) error) error {
+// parallelFor runs fn(ctx, i) for i in [0, n) on up to workers goroutines
+// and returns the first error. Cancellation is two-way: a done ctx stops
+// further cells from being dispatched (and the per-cell ctx aborts
+// in-flight campaigns via sim.SimulateContext), and the first cell error
+// cancels every other cell — an experiment with a broken cell fails fast
+// instead of finishing the sweep.
+func parallelFor(ctx context.Context, n, workers int, fn func(ctx context.Context, i int) error) error {
 	if workers < 1 {
 		workers = 1
 	}
 	if workers > n {
 		workers = n
 	}
+	cellCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
 	jobs := make(chan int)
 	errs := make([]error, n)
 	var wg sync.WaitGroup
@@ -236,7 +243,19 @@ func parallelFor(n, workers int, fn func(i int) error) error {
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
-				errs[i] = fn(i)
+				if cellCtx.Err() != nil {
+					continue // drain: a cell failed or the caller cancelled
+				}
+				if err := fn(cellCtx, i); err != nil {
+					if cellCtx.Err() != nil && errors.Is(err, context.Canceled) {
+						// A secondary abort of an in-flight cell, not the
+						// root cause; recording it would bury the real
+						// error under cancellation noise.
+						continue
+					}
+					errs[i] = err
+					cancel()
+				}
 			}
 		}()
 	}
@@ -245,6 +264,11 @@ func parallelFor(n, workers int, fn func(i int) error) error {
 	}
 	close(jobs)
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		// The caller's cancellation wins over the secondary ctx errors the
+		// in-flight cells reported while aborting.
+		return err
+	}
 	return errors.Join(errs...)
 }
 

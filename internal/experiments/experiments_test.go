@@ -2,8 +2,11 @@ package experiments
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"math"
 	"strings"
+	"sync/atomic"
 	"testing"
 
 	"amdahlyd/internal/costmodel"
@@ -103,7 +106,7 @@ func TestConfigZeroValueSentinels(t *testing.T) {
 
 func TestParallelFor(t *testing.T) {
 	out := make([]int, 100)
-	err := parallelFor(100, 8, func(i int) error {
+	err := parallelFor(context.Background(), 100, 8, func(_ context.Context, i int) error {
 		out[i] = i * i
 		return nil
 	})
@@ -114,6 +117,53 @@ func TestParallelFor(t *testing.T) {
 		if v != i*i {
 			t.Fatalf("cell %d = %d", i, v)
 		}
+	}
+}
+
+// A cancelled context must abort the sweep with ctx.Err() and stop
+// dispatching cells.
+func TestParallelForCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran atomic.Int64
+	err := parallelFor(ctx, 1000, 4, func(_ context.Context, i int) error {
+		ran.Add(1)
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if n := ran.Load(); n >= 1000 {
+		t.Errorf("all %d cells ran despite pre-cancelled context", n)
+	}
+}
+
+// The first cell error must cancel the remaining cells (fail-fast at the
+// sweep level) and surface as the returned error, without cancellation
+// noise from the aborted siblings.
+func TestParallelForFailFast(t *testing.T) {
+	sentinel := errors.New("cell broke")
+	var ran atomic.Int64
+	err := parallelFor(context.Background(), 1000, 4, func(ctx context.Context, i int) error {
+		ran.Add(1)
+		if i == 0 {
+			return sentinel
+		}
+		// Well-behaved cells notice the cancellation like a real campaign
+		// (sim.SimulateContext) would.
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		return nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want %v", err, sentinel)
+	}
+	if errors.Is(err, context.Canceled) {
+		t.Errorf("err %v contains cancellation noise from aborted cells", err)
+	}
+	if n := ran.Load(); n >= 1000 {
+		t.Errorf("all %d cells ran despite cell-0 failure", n)
 	}
 }
 

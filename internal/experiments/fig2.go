@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -29,6 +30,12 @@ type Fig2Result struct {
 // Fig2 reproduces Fig. 2 on the given platforms (the paper uses all four
 // of Table II).
 func Fig2(platforms []platform.Platform, cfg Config) (*Fig2Result, error) {
+	return Fig2Context(context.Background(), platforms, cfg)
+}
+
+// Fig2Context is Fig2 with cancellation: a done ctx aborts in-flight
+// Monte-Carlo campaigns and skips undispatched cells.
+func Fig2Context(ctx context.Context, platforms []platform.Platform, cfg Config) (*Fig2Result, error) {
 	cfg = cfg.withDefaults()
 	type cellIdx struct {
 		pl platform.Platform
@@ -41,18 +48,18 @@ func Fig2(platforms []platform.Platform, cfg Config) (*Fig2Result, error) {
 		}
 	}
 	cells := make([]Fig2Cell, len(idx))
-	err := parallelFor(len(idx), cfg.Workers, func(i int) error {
+	err := parallelFor(ctx, len(idx), cfg.Workers, func(ctx context.Context, i int) error {
 		pl, sc := idx[i].pl, idx[i].sc
 		label := fmt.Sprintf("fig2/%s/%v", pl.Name, sc)
 		m, err := BuildModel(pl, sc, cfg.Alpha, cfg.Downtime)
 		if err != nil {
 			return err
 		}
-		fo, err := solveFirstOrder(m, cfg, label)
+		fo, err := solveFirstOrder(ctx, m, cfg, label)
 		if err != nil {
 			return err
 		}
-		opt, err := solveNumerical(m, cfg, label)
+		opt, err := solveNumerical(ctx, m, cfg, label)
 		if err != nil {
 			return err
 		}

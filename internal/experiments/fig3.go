@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -54,6 +55,11 @@ func DefaultFig3Procs() []float64 {
 // the per-P numerical optimum, for each of the six scenarios across a
 // range of processor counts.
 func Fig3(pl platform.Platform, procs []float64, cfg Config) (*Fig3Result, error) {
+	return Fig3Context(context.Background(), pl, procs, cfg)
+}
+
+// Fig3Context is Fig3 with cancellation.
+func Fig3Context(ctx context.Context, pl platform.Platform, procs []float64, cfg Config) (*Fig3Result, error) {
 	cfg = cfg.withDefaults()
 	if len(procs) == 0 {
 		procs = DefaultFig3Procs()
@@ -69,7 +75,7 @@ func Fig3(pl platform.Platform, procs []float64, cfg Config) (*Fig3Result, error
 		}
 	}
 	points := make([]Fig3Point, len(idx))
-	err := parallelFor(len(idx), cfg.Workers, func(i int) error {
+	err := parallelFor(ctx, len(idx), cfg.Workers, func(ctx context.Context, i int) error {
 		sc, p := idx[i].sc, idx[i].p
 		label := fmt.Sprintf("fig3/%s/%v/P=%g", pl.Name, sc, p)
 		m, err := BuildModel(pl, sc, cfg.Alpha, cfg.Downtime)
@@ -77,7 +83,7 @@ func Fig3(pl platform.Platform, procs []float64, cfg Config) (*Fig3Result, error
 			return err
 		}
 		tFO := m.OptimalPeriodFixedP(p)
-		ev, err := simulateEval(m, solutionAt(tFO, p), false, cfg, label)
+		ev, err := simulateEval(ctx, m, solutionAt(tFO, p), false, cfg, label)
 		if err != nil {
 			return err
 		}

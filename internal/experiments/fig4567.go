@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"amdahlyd/internal/core"
 	"amdahlyd/internal/costmodel"
 	"amdahlyd/internal/platform"
@@ -17,6 +19,11 @@ func DefaultFig4Alphas() []float64 {
 // Fig4 reproduces Fig. 4: the impact of the sequential fraction α on
 // P*, T* and the simulated overhead for scenarios 1, 3 and 5.
 func Fig4(pl platform.Platform, alphas []float64, cfg Config) (*SweepResult, error) {
+	return Fig4Context(context.Background(), pl, alphas, cfg)
+}
+
+// Fig4Context is Fig4 with cancellation.
+func Fig4Context(ctx context.Context, pl platform.Platform, alphas []float64, cfg Config) (*SweepResult, error) {
 	if len(alphas) == 0 {
 		alphas = DefaultFig4Alphas()
 	}
@@ -24,7 +31,7 @@ func Fig4(pl platform.Platform, alphas []float64, cfg Config) (*SweepResult, err
 	build := func(alpha float64, sc costmodel.Scenario) (core.Model, error) {
 		return BuildModel(pl, sc, alpha, cfg.Downtime)
 	}
-	return runSweep("Fig. 4", "alpha", alphas, build, cfg)
+	return runSweep(ctx, "Fig. 4", "alpha", alphas, build, cfg)
 }
 
 // DefaultLambdas mirrors the λ_ind axis of Figs. 5 and 6: 1e-12 … 1e-8.
@@ -37,6 +44,11 @@ func DefaultLambdas() []float64 {
 // 2 and 3 — P* = Θ(λ^-1/4) / Θ(λ^-1/3), T* = Θ(λ^-1/2) / Θ(λ^-1/3) —
 // are recovered from the result by SweepResult.Slopes.
 func Fig5(pl platform.Platform, lambdas []float64, cfg Config) (*SweepResult, error) {
+	return Fig5Context(context.Background(), pl, lambdas, cfg)
+}
+
+// Fig5Context is Fig5 with cancellation.
+func Fig5Context(ctx context.Context, pl platform.Platform, lambdas []float64, cfg Config) (*SweepResult, error) {
 	if len(lambdas) == 0 {
 		lambdas = DefaultLambdas()
 	}
@@ -44,7 +56,7 @@ func Fig5(pl platform.Platform, lambdas []float64, cfg Config) (*SweepResult, er
 	build := func(lambda float64, sc costmodel.Scenario) (core.Model, error) {
 		return BuildModel(pl.WithLambda(lambda), sc, cfg.Alpha, cfg.Downtime)
 	}
-	return runSweep("Fig. 5", "lambda_ind", lambdas, build, cfg)
+	return runSweep(ctx, "Fig. 5", "lambda_ind", lambdas, build, cfg)
 }
 
 // Fig6 reproduces Fig. 6: the same λ_ind sweep with a perfectly parallel
@@ -52,6 +64,11 @@ func Fig5(pl platform.Platform, lambdas []float64, cfg Config) (*SweepResult, er
 // reports numerical orders P* ≈ λ^-1/2 (scenario 1) and ≈ λ^-1
 // (scenarios 3 and 5).
 func Fig6(pl platform.Platform, lambdas []float64, cfg Config) (*SweepResult, error) {
+	return Fig6Context(context.Background(), pl, lambdas, cfg)
+}
+
+// Fig6Context is Fig6 with cancellation.
+func Fig6Context(ctx context.Context, pl platform.Platform, lambdas []float64, cfg Config) (*SweepResult, error) {
 	if len(lambdas) == 0 {
 		lambdas = DefaultLambdas()
 	}
@@ -59,7 +76,7 @@ func Fig6(pl platform.Platform, lambdas []float64, cfg Config) (*SweepResult, er
 	build := func(lambda float64, sc costmodel.Scenario) (core.Model, error) {
 		return BuildModel(pl.WithLambda(lambda), sc, 0, cfg.Downtime)
 	}
-	return runSweep("Fig. 6", "lambda_ind", lambdas, build, cfg)
+	return runSweep(ctx, "Fig. 6", "lambda_ind", lambdas, build, cfg)
 }
 
 // DefaultFig7Downtimes mirrors the paper's x-axis: 0 to 3 hours.
@@ -71,6 +88,11 @@ func DefaultFig7Downtimes() []float64 {
 // The first-order pattern is D-independent (D is a lower-order term);
 // the numerical P* decreases as D grows.
 func Fig7(pl platform.Platform, downtimes []float64, cfg Config) (*SweepResult, error) {
+	return Fig7Context(context.Background(), pl, downtimes, cfg)
+}
+
+// Fig7Context is Fig7 with cancellation.
+func Fig7Context(ctx context.Context, pl platform.Platform, downtimes []float64, cfg Config) (*SweepResult, error) {
 	if len(downtimes) == 0 {
 		downtimes = DefaultFig7Downtimes()
 	}
@@ -78,5 +100,5 @@ func Fig7(pl platform.Platform, downtimes []float64, cfg Config) (*SweepResult, 
 	build := func(d float64, sc costmodel.Scenario) (core.Model, error) {
 		return BuildModel(pl, sc, cfg.Alpha, d)
 	}
-	return runSweep("Fig. 7", "D", downtimes, build, cfg)
+	return runSweep(ctx, "Fig. 7", "D", downtimes, build, cfg)
 }

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -59,6 +60,11 @@ func DefaultProfiles(alpha float64) ([]speedup.Profile, error) {
 // of scenarios 1, 3 and 5, compute the semi-analytic and fully numerical
 // optima and price both by Monte-Carlo simulation.
 func ProfileStudy(pl platform.Platform, sc costmodel.Scenario, profiles []speedup.Profile, cfg Config) (*ProfileStudyResult, error) {
+	return ProfileStudyContext(context.Background(), pl, sc, profiles, cfg)
+}
+
+// ProfileStudyContext is ProfileStudy with cancellation.
+func ProfileStudyContext(ctx context.Context, pl platform.Platform, sc costmodel.Scenario, profiles []speedup.Profile, cfg Config) (*ProfileStudyResult, error) {
 	cfg = cfg.withDefaults()
 	if len(profiles) == 0 {
 		var err error
@@ -68,7 +74,7 @@ func ProfileStudy(pl platform.Platform, sc costmodel.Scenario, profiles []speedu
 		}
 	}
 	cells := make([]ProfileCell, len(profiles))
-	err := parallelFor(len(profiles), cfg.Workers, func(i int) error {
+	err := parallelFor(ctx, len(profiles), cfg.Workers, func(ctx context.Context, i int) error {
 		prof := profiles[i]
 		if err := speedup.Validate(prof); err != nil {
 			return err
@@ -87,7 +93,7 @@ func ProfileStudy(pl platform.Platform, sc costmodel.Scenario, profiles []speedu
 		if err != nil {
 			return fmt.Errorf("%s: %w", label, err)
 		}
-		saEval, err := simulateEval(m, sa, false, cfg, label+"/semi-analytic")
+		saEval, err := simulateEval(ctx, m, sa, false, cfg, label+"/semi-analytic")
 		if err != nil {
 			return err
 		}
@@ -96,7 +102,7 @@ func ProfileStudy(pl platform.Platform, sc costmodel.Scenario, profiles []speedu
 		if err != nil {
 			return fmt.Errorf("%s: %w", label, err)
 		}
-		numEval, err := simulateEval(m, num.Solution, num.AtPBound, cfg, label+"/numerical")
+		numEval, err := simulateEval(ctx, m, num.Solution, num.AtPBound, cfg, label+"/numerical")
 		if err != nil {
 			return err
 		}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -96,6 +97,12 @@ const maxMachineProcs = 1 << 16
 // exactly the classic robustness question asked of Young/Daly formulas.
 func RobustnessStudy(pl platform.Platform, distName string, shapes []float64,
 	scenarios []costmodel.Scenario, cfg Config) (*RobustnessResult, error) {
+	return RobustnessStudyContext(context.Background(), pl, distName, shapes, scenarios, cfg)
+}
+
+// RobustnessStudyContext is RobustnessStudy with cancellation.
+func RobustnessStudyContext(ctx context.Context, pl platform.Platform, distName string, shapes []float64,
+	scenarios []costmodel.Scenario, cfg Config) (*RobustnessResult, error) {
 	cfg = cfg.withDefaults()
 	if len(shapes) == 0 {
 		return nil, errors.New("experiments: robustness study needs at least one shape")
@@ -109,7 +116,7 @@ func RobustnessStudy(pl platform.Platform, distName string, shapes []float64,
 	}
 
 	cells := make([]RobustnessCell, len(scenarios)*len(shapes))
-	err := parallelFor(len(cells), cfg.Workers, func(i int) error {
+	err := parallelFor(ctx, len(cells), cfg.Workers, func(ctx context.Context, i int) error {
 		sc := scenarios[i/len(shapes)]
 		shape := shapes[i%len(shapes)]
 		label := fmt.Sprintf("robustness/%s/%s/k%g/%v", pl.Name, distName, shape, sc)
@@ -158,7 +165,7 @@ func RobustnessStudy(pl platform.Platform, distName string, shapes []float64,
 			cellWorkers = 1
 		}
 		price := func(t float64, s uint64) (mean, ci float64, pressure bool, err error) {
-			res, err := sim.Simulate(m, t, float64(procs), sim.RunConfig{
+			res, err := sim.SimulateContext(ctx, m, t, float64(procs), sim.RunConfig{
 				Runs:     cfg.Runs,
 				Patterns: cfg.Patterns,
 				Seed:     s,

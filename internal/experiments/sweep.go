@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -36,7 +37,7 @@ type SweepResult struct {
 type modelBuilder func(x float64, sc costmodel.Scenario) (core.Model, error)
 
 // runSweep evaluates all (scenario ∈ {1,3,5}) × xs cells in parallel.
-func runSweep(name, xLabel string, xs []float64, build modelBuilder, cfg Config) (*SweepResult, error) {
+func runSweep(ctx context.Context, name, xLabel string, xs []float64, build modelBuilder, cfg Config) (*SweepResult, error) {
 	cfg = cfg.withDefaults()
 	type cellIdx struct {
 		sc costmodel.Scenario
@@ -49,18 +50,18 @@ func runSweep(name, xLabel string, xs []float64, build modelBuilder, cfg Config)
 		}
 	}
 	points := make([]SweepPoint, len(idx))
-	err := parallelFor(len(idx), cfg.Workers, func(i int) error {
+	err := parallelFor(ctx, len(idx), cfg.Workers, func(ctx context.Context, i int) error {
 		sc, x := idx[i].sc, idx[i].x
 		label := fmt.Sprintf("%s/%v/%s=%g", name, sc, xLabel, x)
 		m, err := build(x, sc)
 		if err != nil {
 			return err
 		}
-		fo, err := solveFirstOrder(m, cfg, label)
+		fo, err := solveFirstOrder(ctx, m, cfg, label)
 		if err != nil {
 			return err
 		}
-		opt, err := solveNumerical(m, cfg, label)
+		opt, err := solveNumerical(ctx, m, cfg, label)
 		if err != nil {
 			return err
 		}

@@ -208,6 +208,33 @@ func (g Gamma) CDF(x float64) float64 {
 // Name implements Distribution.
 func (g Gamma) Name() string { return fmt.Sprintf("gamma(k=%g, θ=%.6g)", g.Shape, g.Scale) }
 
+// CacheKey returns a canonical identity token for a distribution,
+// following the same rules as core.Model.CacheKey: the four built-in
+// laws are keyed structurally with exact hexadecimal parameters
+// (xmath.FloatKey, the shared canonical encoding), a custom law may
+// implement interface{ CacheKey() string }, and anything else falls
+// back to its display Name (safe only when Name is injective). A nil
+// distribution — the exponential fast path of the simulators — keys as
+// "exp-fast".
+func CacheKey(dist Distribution) string {
+	switch d := dist.(type) {
+	case nil:
+		return "exp-fast"
+	case Exponential:
+		return "exp:" + xmath.FloatKey(d.Rate)
+	case Weibull:
+		return "weibull:" + xmath.FloatKey(d.Shape) + ":" + xmath.FloatKey(d.Scale)
+	case LogNormal:
+		return "lognormal:" + xmath.FloatKey(d.Mu) + ":" + xmath.FloatKey(d.Sigma)
+	case Gamma:
+		return "gamma:" + xmath.FloatKey(d.Shape) + ":" + xmath.FloatKey(d.Scale)
+	}
+	if k, ok := dist.(interface{ CacheKey() string }); ok {
+		return "custom:" + k.CacheKey()
+	}
+	return "named:" + dist.Name()
+}
+
 // ValidateMean rejects a distribution whose mean is non-positive,
 // non-finite or NaN — the shared gate for every consumer that derives a
 // rate or an error-pressure bound from 1/mean (Source, the machine

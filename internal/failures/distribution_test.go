@@ -469,3 +469,44 @@ func TestSourceExponentialBitCompatible(t *testing.T) {
 		}
 	}
 }
+
+// CacheKey must separate the built-in laws structurally, even where the
+// human-readable Name would round parameters together.
+func TestDistributionCacheKey(t *testing.T) {
+	w1, err := NewWeibullMTBF(0.7, 1e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2, err := NewWeibullMTBF(0.7, 1e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if CacheKey(w1) != CacheKey(w2) {
+		t.Error("identical Weibulls keyed differently")
+	}
+	// A last-ulp scale change is invisible to the %.6g Name but must not
+	// be invisible to the key.
+	w3 := w1
+	w3.Scale = math.Nextafter(w3.Scale, math.Inf(1))
+	if CacheKey(w1) == CacheKey(w3) {
+		t.Error("ulp-perturbed Weibull shares a key")
+	}
+	g, err := NewGammaMTBF(0.7, 1e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := map[string]string{
+		CacheKey(nil):                  "nil",
+		CacheKey(Exponential{Rate: 1}): "exp",
+		CacheKey(w1):                   "weibull",
+		CacheKey(g):                    "gamma",
+	}
+	ln, err := NewLogNormalMTBF(1, 1e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys[CacheKey(ln)] = "lognormal"
+	if len(keys) != 5 {
+		t.Errorf("law keys collide: %v", keys)
+	}
+}

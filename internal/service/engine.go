@@ -1,0 +1,323 @@
+// Package service is the long-running evaluation layer on top of the
+// reproduction: one process that amortizes repeated Amdahl/Young-Daly
+// analyses across requests instead of paying a full cold solve per CLI
+// invocation.
+//
+// The engine combines four mechanisms (DESIGN.md, "Service layer"):
+//
+//   - canonical request keys — core.Model.CacheKey plus exact parameter
+//     encodings identify a request independent of representation;
+//   - a sharded LRU of compiled core.Frozen evaluators, memoized
+//     optimizer results and Monte-Carlo campaign results (all are pure
+//     functions of their key: campaigns are seeded, so even simulation
+//     results are cacheable bit-exactly);
+//   - single-flight deduplication — concurrent identical requests solve
+//     once and share the result;
+//   - a bounded job scheduler with context cancellation threaded into
+//     sim.SimulateContext, so a request hang-up aborts its campaign
+//     instead of burning the worker pool.
+//
+// Every result is bit-identical to the equivalent direct library call
+// (and hence to the CLI tools): the service only adds reuse, never a
+// different code path.
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"runtime"
+	"sync/atomic"
+
+	"amdahlyd/internal/core"
+	"amdahlyd/internal/failures"
+	"amdahlyd/internal/optimize"
+	"amdahlyd/internal/sim"
+)
+
+// Options tunes the engine. The zero value serves with sensible bounds.
+type Options struct {
+	// FrozenCacheSize bounds the compiled-evaluator cache (default 4096
+	// entries; a Frozen is ~200 bytes, so the default is well under a
+	// megabyte).
+	FrozenCacheSize int
+	// ResultCacheSize bounds each of the optimizer- and campaign-result
+	// caches (default 1024 entries).
+	ResultCacheSize int
+	// MaxConcurrent bounds the number of optimize/simulate jobs executing
+	// at once (default GOMAXPROCS); further requests queue on the
+	// scheduler until a slot frees or their context is cancelled.
+	// Evaluate requests are never queued — a cached-kernel evaluation is
+	// cheaper than the bookkeeping would be.
+	MaxConcurrent int
+	// SimWorkers is the per-campaign worker count handed to sim.RunConfig
+	// (default 1: with MaxConcurrent campaigns in flight the process is
+	// already saturated, and per-run streams make the setting invisible
+	// in the results).
+	SimWorkers int
+}
+
+func (o Options) withDefaults() Options {
+	if o.FrozenCacheSize == 0 {
+		o.FrozenCacheSize = 4096
+	}
+	if o.ResultCacheSize == 0 {
+		o.ResultCacheSize = 1024
+	}
+	if o.MaxConcurrent == 0 {
+		o.MaxConcurrent = runtime.GOMAXPROCS(0)
+	}
+	if o.SimWorkers == 0 {
+		o.SimWorkers = 1
+	}
+	return o
+}
+
+// Engine is the shared evaluation engine. It is safe for concurrent use;
+// construct it once per process with NewEngine.
+type Engine struct {
+	opts Options
+
+	frozen    *lruCache[*core.Frozen]
+	optimizes *lruCache[optimize.PatternResult]
+	sims      *lruCache[sim.RunResult]
+	flight    *flightGroup
+
+	// sem is the bounded job scheduler: one slot per executing job.
+	sem chan struct{}
+
+	evals     atomic.Uint64
+	optCalls  atomic.Uint64
+	simCalls  atomic.Uint64
+	inFlight  atomic.Int64
+	cancelled atomic.Uint64
+}
+
+// NewEngine builds an engine with the given options.
+func NewEngine(opts Options) *Engine {
+	opts = opts.withDefaults()
+	return &Engine{
+		opts:      opts,
+		frozen:    newLRU[*core.Frozen](opts.FrozenCacheSize),
+		optimizes: newLRU[optimize.PatternResult](opts.ResultCacheSize),
+		sims:      newLRU[sim.RunResult](opts.ResultCacheSize),
+		flight:    newFlightGroup(),
+		sem:       make(chan struct{}, opts.MaxConcurrent),
+	}
+}
+
+// Frozen returns the compiled evaluator for the model at P, compiling at
+// most once per (model, P): the per-request cost of a warm evaluate is
+// one cache probe instead of a Freeze.
+func (e *Engine) Frozen(m core.Model, p float64) (*core.Frozen, error) {
+	// Model.CacheKey rejects NaN parameters; hold the request-supplied P
+	// to the same standard instead of caching an all-NaN kernel under a
+	// "#p=NaN" key (NaN never compares equal, so it could also never be
+	// evicted by a repeat request).
+	if math.IsNaN(p) || math.IsInf(p, 0) {
+		return nil, fmt.Errorf("service: processor count P = %g must be finite", p)
+	}
+	if p < 1 {
+		p = 1 // Freeze clamps identically; clamp before keying so P=0.5 and P=1 share an entry
+	}
+	mk, err := m.CacheKey()
+	if err != nil {
+		return nil, err
+	}
+	key := mk + "#p=" + core.FormatFloatKey(p)
+	if fz, ok := e.frozen.Get(key); ok {
+		return fz, nil
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	fz := m.Freeze(p)
+	e.frozen.Add(key, &fz)
+	return &fz, nil
+}
+
+// Evaluation is the result of one evaluate request: the exact formulas of
+// Proposition 1 and Theorem 1 at a fixed (T, P).
+type Evaluation struct {
+	T                   float64 `json:"t"`
+	P                   float64 `json:"p"`
+	Overhead            float64 `json:"overhead"`
+	PatternTime         float64 `json:"pattern_time"`
+	FirstOrderTime      float64 `json:"first_order_pattern_time"`
+	ErrorFree           float64 `json:"error_free_overhead"`
+	OptimalPeriodFixedP float64 `json:"optimal_period_fixed_p"`
+	Speedup             float64 `json:"speedup"`
+}
+
+// Evaluate prices PATTERN(T, P) on the cached compiled evaluator. It is
+// bit-identical to the corresponding Model methods (Frozen is
+// bit-exact by construction, pinned by the core property tests).
+func (e *Engine) Evaluate(m core.Model, t, p float64) (Evaluation, error) {
+	e.evals.Add(1)
+	if !(t > 0) || math.IsInf(t, 0) || math.IsNaN(t) {
+		return Evaluation{}, fmt.Errorf("service: period T = %g must be positive and finite", t)
+	}
+	fz, err := e.Frozen(m, p)
+	if err != nil {
+		return Evaluation{}, err
+	}
+	return Evaluation{
+		T:                   t,
+		P:                   fz.P,
+		Overhead:            fz.Overhead(t),
+		PatternTime:         fz.PatternTime(t),
+		FirstOrderTime:      fz.FirstOrderPatternTime(t),
+		ErrorFree:           fz.ErrorFreeOverhead(t),
+		OptimalPeriodFixedP: fz.OptimalPeriod(),
+		Speedup:             fz.Speedup(t),
+	}, nil
+}
+
+// optionsKey canonically encodes the optimizer options (every field is
+// observable in the result).
+func optionsKey(o optimize.PatternOptions) string {
+	return fmt.Sprintf("%s,%s,%s,%s,%d,%d,%s,%t",
+		core.FormatFloatKey(o.PMin), core.FormatFloatKey(o.PMax),
+		core.FormatFloatKey(o.TMin), core.FormatFloatKey(o.TMax),
+		o.GridP, o.GridT, core.FormatFloatKey(o.Tol), o.IntegerP)
+}
+
+// Optimize returns the numerical optimum (T*, P*) for the model,
+// memoizing by canonical (model, options) key and deduplicating
+// concurrent identical requests. cached reports whether the result was
+// served from the cache (attaching to an in-flight solve counts: the
+// request did not pay for a solve).
+func (e *Engine) Optimize(ctx context.Context, m core.Model, opts optimize.PatternOptions) (res optimize.PatternResult, cached bool, err error) {
+	e.optCalls.Add(1)
+	mk, err := m.CacheKey()
+	if err != nil {
+		return optimize.PatternResult{}, false, err
+	}
+	key := mk + "#opt#" + optionsKey(opts)
+	if r, ok := e.optimizes.Get(key); ok {
+		return r, true, nil
+	}
+	v, shared, err := e.flight.do(ctx, key, func(ctx context.Context) (any, error) {
+		if err := e.acquire(ctx); err != nil {
+			return nil, err
+		}
+		defer e.release()
+		r, err := optimize.OptimalPattern(m, opts)
+		if err != nil {
+			return nil, err
+		}
+		e.optimizes.Add(key, r)
+		return r, nil
+	})
+	if err != nil {
+		e.countCancelled(err)
+		return optimize.PatternResult{}, false, err
+	}
+	return v.(optimize.PatternResult), shared, nil
+}
+
+// countCancelled maintains the operator-facing cancellation counter: only
+// genuine cancellations count, not arbitrary errors that happen to race a
+// client hang-up.
+func (e *Engine) countCancelled(err error) {
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		e.cancelled.Add(1)
+	}
+}
+
+// simKey canonically encodes a campaign request. Workers is deliberately
+// excluded: per-run streams make campaign results worker-count
+// independent (pinned by the sim runner tests), so requests differing
+// only in parallelism share a cache entry.
+func simKey(mk string, t, p float64, cfg sim.RunConfig) string {
+	return fmt.Sprintf("%s#sim#%s,%s,%d,%d,%d,%t,%s",
+		mk, core.FormatFloatKey(t), core.FormatFloatKey(p),
+		cfg.Runs, cfg.Patterns, cfg.Seed, cfg.Machine, failures.CacheKey(cfg.Dist))
+}
+
+// Simulate runs (or replays from cache) a Monte-Carlo campaign. Seeded
+// campaigns are pure functions of their configuration, so a cache hit is
+// bit-identical to a fresh run; concurrent identical campaigns run once.
+// The request context cancels an in-flight campaign between runs once
+// every requester has hung up.
+func (e *Engine) Simulate(ctx context.Context, m core.Model, t, p float64, cfg sim.RunConfig) (res sim.RunResult, cached bool, err error) {
+	e.simCalls.Add(1)
+	mk, err := m.CacheKey()
+	if err != nil {
+		return sim.RunResult{}, false, err
+	}
+	// Normalize before keying: a zero-valued request and one spelling out
+	// the 500×500 defaults are the same campaign and must share a cache
+	// entry (Workers is then overridden — like the excluded Workers key
+	// component, it cannot affect results).
+	cfg = cfg.WithDefaults()
+	cfg.Workers = e.opts.SimWorkers
+	key := simKey(mk, t, p, cfg)
+	if r, ok := e.sims.Get(key); ok {
+		return r, true, nil
+	}
+	v, shared, err := e.flight.do(ctx, key, func(ctx context.Context) (any, error) {
+		if err := e.acquire(ctx); err != nil {
+			return nil, err
+		}
+		defer e.release()
+		r, err := sim.SimulateContext(ctx, m, t, p, cfg)
+		if err != nil {
+			return nil, err
+		}
+		e.sims.Add(key, r)
+		return r, nil
+	})
+	if err != nil {
+		e.countCancelled(err)
+		return sim.RunResult{}, false, err
+	}
+	return v.(sim.RunResult), shared, nil
+}
+
+// acquire blocks until a scheduler slot is free or ctx is done.
+func (e *Engine) acquire(ctx context.Context) error {
+	select {
+	case e.sem <- struct{}{}:
+		e.inFlight.Add(1)
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (e *Engine) release() {
+	e.inFlight.Add(-1)
+	<-e.sem
+}
+
+// Stats is the observable state of the engine.
+type Stats struct {
+	Evaluations   uint64     `json:"evaluations"`
+	OptimizeCalls uint64     `json:"optimize_calls"`
+	SimulateCalls uint64     `json:"simulate_calls"`
+	Deduplicated  uint64     `json:"deduplicated"`
+	Cancelled     uint64     `json:"cancelled"`
+	InFlight      int64      `json:"in_flight"`
+	MaxConcurrent int        `json:"max_concurrent"`
+	FrozenCache   CacheStats `json:"frozen_cache"`
+	OptimizeCache CacheStats `json:"optimize_cache"`
+	SimulateCache CacheStats `json:"simulate_cache"`
+}
+
+// Stats snapshots the engine counters.
+func (e *Engine) Stats() Stats {
+	return Stats{
+		Evaluations:   e.evals.Load(),
+		OptimizeCalls: e.optCalls.Load(),
+		SimulateCalls: e.simCalls.Load(),
+		Deduplicated:  e.flight.Deduped(),
+		Cancelled:     e.cancelled.Load(),
+		InFlight:      e.inFlight.Load(),
+		MaxConcurrent: e.opts.MaxConcurrent,
+		FrozenCache:   e.frozen.Stats(),
+		OptimizeCache: e.optimizes.Stats(),
+		SimulateCache: e.sims.Stats(),
+	}
+}

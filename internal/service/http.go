@@ -1,0 +1,431 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+
+	"amdahlyd/internal/core"
+	"amdahlyd/internal/costmodel"
+	"amdahlyd/internal/experiments"
+	"amdahlyd/internal/failures"
+	"amdahlyd/internal/optimize"
+	"amdahlyd/internal/platform"
+	"amdahlyd/internal/sim"
+	"amdahlyd/internal/stats"
+)
+
+// maxRequestBody bounds request bodies; every valid request is a small
+// JSON object.
+const maxRequestBody = 1 << 20
+
+// Campaign budget caps for untrusted requests. The library accepts any
+// budget, but over HTTP a single patient client could otherwise pin a
+// scheduler slot for hours ({"runs":2e9,"patterns":2e9}) or OOM the
+// machine simulator with a billion per-processor clocks. The pattern
+// budget allows 4000× the paper's standard 500×500 campaign; the machine
+// cap matches the robustness study's own maxMachineProcs.
+const (
+	maxRequestPatternBudget = 1e9     // runs × patterns per request
+	maxRequestMachineProcs  = 1 << 16 // machine-level P per request
+)
+
+// ModelSpec selects a model the same way the CLI tools do: a Table II
+// platform, a Table III scenario, the sequential fraction, the downtime,
+// and an optional λ_ind override. Defaults mirror the CLI flags
+// (alpha 0.1, downtime 3600 s), so an amdahl-serve request with the same
+// parameters as an amdahl-opt/amdahl-sim invocation builds the identical
+// core.Model — and therefore returns bit-identical numbers.
+type ModelSpec struct {
+	Platform string `json:"platform"`
+	Scenario int    `json:"scenario"`
+	// Alpha is the sequential fraction; null/omitted means the CLI
+	// default 0.1, an explicit 0 selects the perfectly parallel profile
+	// (exactly like the -alpha flag).
+	Alpha *float64 `json:"alpha,omitempty"`
+	// Downtime D in seconds; null/omitted means the CLI default 3600.
+	Downtime *float64 `json:"downtime,omitempty"`
+	// Lambda overrides the platform's λ_ind when positive (the -lambda
+	// flag).
+	Lambda float64 `json:"lambda,omitempty"`
+}
+
+// Build resolves the spec into a model plus its platform, following the
+// CLI code path (platform.Lookup → WithLambda → experiments.BuildModel).
+func (s ModelSpec) Build() (core.Model, platform.Platform, error) {
+	name := s.Platform
+	if name == "" {
+		name = "hera"
+	}
+	pl, err := platform.Lookup(name)
+	if err != nil {
+		return core.Model{}, platform.Platform{}, err
+	}
+	if s.Lambda > 0 {
+		pl = pl.WithLambda(s.Lambda)
+	}
+	scenario := s.Scenario
+	if scenario == 0 {
+		scenario = 1
+	}
+	sc := costmodel.Scenario(scenario)
+	if !sc.Valid() {
+		return core.Model{}, platform.Platform{}, fmt.Errorf("scenario %d outside 1-6", scenario)
+	}
+	alpha := 0.1
+	if s.Alpha != nil {
+		alpha = *s.Alpha
+	}
+	downtime := 3600.0
+	if s.Downtime != nil {
+		downtime = *s.Downtime
+	}
+	m, err := experiments.BuildModel(pl, sc, alpha, downtime)
+	if err != nil {
+		return core.Model{}, platform.Platform{}, err
+	}
+	return m, pl, nil
+}
+
+// EvaluateRequest prices PATTERN(T, P). T = 0 selects the Theorem 1
+// optimal period at P, P = 0 the platform's deployed processor count —
+// the same defaulting as amdahl-sim's -T/-P flags.
+type EvaluateRequest struct {
+	Model ModelSpec `json:"model"`
+	T     float64   `json:"t,omitempty"`
+	P     float64   `json:"p,omitempty"`
+}
+
+// EvaluateResponse carries the evaluation and cache provenance.
+type EvaluateResponse struct {
+	Evaluation
+	Platform string `json:"platform"`
+}
+
+// OptimizeRequest computes the numerical optimum (T*, P*).
+type OptimizeRequest struct {
+	Model ModelSpec `json:"model"`
+	// Options tunes the search box; zero values select the defaults used
+	// by every experiment in the paper.
+	Options OptimizeOptions `json:"options,omitempty"`
+}
+
+// OptimizeOptions is the JSON shape of optimize.PatternOptions.
+type OptimizeOptions struct {
+	PMin     float64 `json:"p_min,omitempty"`
+	PMax     float64 `json:"p_max,omitempty"`
+	TMin     float64 `json:"t_min,omitempty"`
+	TMax     float64 `json:"t_max,omitempty"`
+	IntegerP bool    `json:"integer_p,omitempty"`
+}
+
+func (o OptimizeOptions) pattern() optimize.PatternOptions {
+	return optimize.PatternOptions{
+		PMin: o.PMin, PMax: o.PMax,
+		TMin: o.TMin, TMax: o.TMax,
+		IntegerP: o.IntegerP,
+	}
+}
+
+// OptimizeResponse is the solved pattern.
+type OptimizeResponse struct {
+	T        float64 `json:"t"`
+	P        float64 `json:"p"`
+	Overhead float64 `json:"overhead"`
+	Method   string  `json:"method"`
+	Class    string  `json:"class,omitempty"`
+	AtPBound bool    `json:"at_p_bound,omitempty"`
+	Evals    int     `json:"evals"`
+	Cached   bool    `json:"cached"`
+}
+
+// SimulateRequest runs a Monte-Carlo campaign; zero-valued fields take
+// the same defaults as amdahl-sim's flags (500 runs × 500 patterns,
+// T/P defaulting as in EvaluateRequest).
+type SimulateRequest struct {
+	Model    ModelSpec `json:"model"`
+	T        float64   `json:"t,omitempty"`
+	P        float64   `json:"p,omitempty"`
+	Runs     int       `json:"runs,omitempty"`
+	Patterns int       `json:"patterns,omitempty"`
+	Seed     uint64    `json:"seed,omitempty"`
+	Machine  bool      `json:"machine,omitempty"`
+	// Dist names a non-exponential per-processor law (weibull, lognormal,
+	// gamma) with Shape as its parameter; requires Machine, exactly like
+	// the amdahl-trace/amdahl-exp -dist flags.
+	Dist  string  `json:"dist,omitempty"`
+	Shape float64 `json:"shape,omitempty"`
+}
+
+// SimulateResponse mirrors sim.RunResult.
+type SimulateResponse struct {
+	T                float64     `json:"t"`
+	P                float64     `json:"p"`
+	Overhead         SummaryJSON `json:"overhead"`
+	MeanPatternTime  SummaryJSON `json:"mean_pattern_time"`
+	PredictedH       float64     `json:"predicted_overhead"`
+	ExactPatternTime float64     `json:"exact_pattern_time"`
+	FailStops        int64       `json:"fail_stops"`
+	SilentDetections int64       `json:"silent_detections"`
+	Recoveries       int64       `json:"recoveries"`
+	Runs             int         `json:"runs"`
+	Patterns         int         `json:"patterns"`
+	Cached           bool        `json:"cached"`
+}
+
+// SummaryJSON is the JSON shape of stats.Summary. NaN spread fields
+// (single-run campaigns) marshal as null, which is JSON's honest "-".
+type SummaryJSON struct {
+	N      int64    `json:"n"`
+	Mean   float64  `json:"mean"`
+	StdDev *float64 `json:"stddev"`
+	StdErr *float64 `json:"stderr"`
+	Min    float64  `json:"min"`
+	Max    float64  `json:"max"`
+	CI95   *float64 `json:"ci95"`
+}
+
+// summaryJSON converts a stats.Summary, mapping NaN spread fields (which
+// encoding/json refuses to marshal) to null.
+func summaryJSON(s stats.Summary) SummaryJSON {
+	ptr := func(v float64) *float64 {
+		if math.IsNaN(v) {
+			return nil
+		}
+		return &v
+	}
+	return SummaryJSON{
+		N:      s.N,
+		Mean:   s.Mean,
+		StdDev: ptr(s.StdDev),
+		StdErr: ptr(s.StdErr),
+		Min:    s.Min,
+		Max:    s.Max,
+		CI95:   ptr(s.CI95),
+	}
+}
+
+// Server exposes the engine over HTTP with JSON request/response bodies.
+type Server struct {
+	engine *Engine
+	mux    *http.ServeMux
+}
+
+// NewServer wires the endpoints onto a fresh mux.
+func NewServer(e *Engine) *Server {
+	s := &Server{engine: e, mux: http.NewServeMux()}
+	s.mux.HandleFunc("POST /v1/evaluate", s.handleEvaluate)
+	s.mux.HandleFunc("POST /v1/optimize", s.handleOptimize)
+	s.mux.HandleFunc("POST /v1/simulate", s.handleSimulate)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	return s
+}
+
+// Engine returns the underlying engine (for stats and tests).
+func (s *Server) Engine() *Engine { return s.engine }
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// apiError is the JSON error envelope.
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	// Marshal before touching the ResponseWriter: once WriteHeader runs,
+	// an encode failure could only produce a 200 with a truncated body.
+	// The realistic failure is a non-finite float (e.g. an overhead of
+	// +Inf deep in the failure-dominated regime), which encoding/json
+	// refuses to marshal; report it as an unprocessable result rather
+	// than silently emitting garbage.
+	buf, err := json.Marshal(v)
+	if err != nil {
+		status = http.StatusUnprocessableEntity
+		buf, _ = json.Marshal(apiError{Error: fmt.Sprintf(
+			"result not representable in JSON (non-finite values — the pattern is likely infeasible at these parameters): %v", err)})
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	buf = append(buf, '\n')
+	_, _ = w.Write(buf) // a client gone mid-write has its own error
+}
+
+func writeErr(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, apiError{Error: err.Error()})
+}
+
+// statusFor maps engine errors onto HTTP statuses: cancelled requests map
+// to 499 (client closed request, nginx convention — the client is gone
+// anyway), patterns too failure-dominated to simulate to 422, and
+// everything else to 400: every remaining error the engine returns is
+// parameter-driven (bad model, search box, campaign config) — internal
+// invariant violations would surface as panics, not errors.
+func statusFor(ctx context.Context, err error) int {
+	switch {
+	case errors.Is(err, context.Canceled) && ctx.Err() != nil:
+		return 499
+	case errors.Is(err, sim.ErrErrorPressure):
+		return http.StatusUnprocessableEntity
+	default:
+		return http.StatusBadRequest
+	}
+}
+
+func decode[T any](w http.ResponseWriter, r *http.Request, into *T) error {
+	// MaxBytesReader (not a bare LimitReader) so an oversized body yields
+	// a clear "request body too large" error and the connection is
+	// protected instead of left mid-body.
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBody))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(into); err != nil {
+		return fmt.Errorf("bad request body: %w", err)
+	}
+	return nil
+}
+
+// defaultTP resolves the T = 0 / P = 0 conventions shared by evaluate and
+// simulate: P defaults to the platform's deployed count, T to the
+// Theorem 1 optimum at P — the same lines amdahl-sim runs.
+func defaultTP(m core.Model, pl platform.Platform, t, p float64) (float64, float64) {
+	if p == 0 {
+		p = pl.Processors
+	}
+	if t == 0 {
+		t = m.OptimalPeriodFixedP(p)
+	}
+	return t, p
+}
+
+func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
+	var req EvaluateRequest
+	if err := decode(w, r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	m, pl, err := req.Model.Build()
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	t, p := defaultTP(m, pl, req.T, req.P)
+	ev, err := s.engine.Evaluate(m, t, p)
+	if err != nil {
+		writeErr(w, statusFor(r.Context(), err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, EvaluateResponse{Evaluation: ev, Platform: pl.Name})
+}
+
+func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
+	var req OptimizeRequest
+	if err := decode(w, r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	m, _, err := req.Model.Build()
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	res, cached, err := s.engine.Optimize(r.Context(), m, req.Options.pattern())
+	if err != nil {
+		writeErr(w, statusFor(r.Context(), err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, OptimizeResponse{
+		T:        res.T,
+		P:        res.P,
+		Overhead: res.Overhead,
+		Method:   res.Method,
+		Class:    res.Class.String(),
+		AtPBound: res.AtPBound,
+		Evals:    res.Evals,
+		Cached:   cached,
+	})
+}
+
+func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
+	var req SimulateRequest
+	if err := decode(w, r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	m, pl, err := req.Model.Build()
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	t, p := defaultTP(m, pl, req.T, req.P)
+	cfg := sim.RunConfig{
+		Runs:     req.Runs,
+		Patterns: req.Patterns,
+		Seed:     req.Seed,
+		Machine:  req.Machine,
+	}
+	if req.Runs < 0 || req.Patterns < 0 {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("runs and patterns must be non-negative"))
+		return
+	}
+	eff := cfg.WithDefaults()
+	if budget := float64(eff.Runs) * float64(eff.Patterns); budget > maxRequestPatternBudget {
+		writeErr(w, http.StatusUnprocessableEntity, fmt.Errorf(
+			"campaign budget %d×%d exceeds the per-request limit of %g patterns",
+			eff.Runs, eff.Patterns, float64(maxRequestPatternBudget)))
+		return
+	}
+	if req.Machine && p > maxRequestMachineProcs {
+		writeErr(w, http.StatusUnprocessableEntity, fmt.Errorf(
+			"machine-level P = %g exceeds the per-request limit of %d processors", p, maxRequestMachineProcs))
+		return
+	}
+	if failures.IsExponentialName(req.Dist) {
+		// Parity with the CLI (amdahl-exp robustness): a shape with the
+		// exponential law would silently misstate the campaign that ran.
+		if req.Shape != 0 {
+			writeErr(w, http.StatusBadRequest,
+				fmt.Errorf("shape has no effect with an exponential dist"))
+			return
+		}
+	} else {
+		dist, err := failures.ParseDistribution(req.Dist, req.Shape, m.LambdaInd)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		cfg.Dist = dist
+	}
+	res, cached, err := s.engine.Simulate(r.Context(), m, t, p, cfg)
+	if err != nil {
+		writeErr(w, statusFor(r.Context(), err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, SimulateResponse{
+		T:                t,
+		P:                p,
+		Overhead:         summaryJSON(res.Overhead),
+		MeanPatternTime:  summaryJSON(res.MeanPatternTime),
+		PredictedH:       m.Overhead(t, p),
+		ExactPatternTime: m.ExactPatternTime(t, p),
+		FailStops:        res.FailStops,
+		SilentDetections: res.SilentDetections,
+		Recoveries:       res.Recoveries,
+		Runs:             res.Config.Runs,
+		Patterns:         res.Config.Patterns,
+		Cached:           cached,
+	})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.engine.Stats())
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+}

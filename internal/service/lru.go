@@ -1,0 +1,186 @@
+package service
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// lruShards is the fixed shard count of every cache. Sixteen shards keep
+// lock contention negligible at the request rates the service targets
+// (requests touch a cache for well under a microsecond) without bloating
+// the per-cache footprint.
+const lruShards = 16
+
+// CacheStats is a point-in-time counter snapshot of one cache.
+type CacheStats struct {
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Evictions uint64 `json:"evictions"`
+	Entries   int    `json:"entries"`
+	Capacity  int    `json:"capacity"`
+}
+
+// lruCache is a sharded, mutex-per-shard LRU map from canonical request
+// keys to values. Keys are hashed with FNV-1a onto shards; each shard
+// keeps an intrusive doubly-linked recency list, so Get and Add are O(1)
+// under the shard lock. Values are stored as given — callers share them
+// across goroutines, so they must be immutable once inserted (compiled
+// core.Frozen evaluators, optimizer results and campaign results all
+// are).
+type lruCache[V any] struct {
+	shards   [lruShards]lruShard[V]
+	capacity int // total across shards
+
+	hits      atomic.Uint64
+	misses    atomic.Uint64
+	evictions atomic.Uint64
+}
+
+type lruShard[V any] struct {
+	mu       sync.Mutex
+	entries  map[string]*lruEntry[V]
+	head     *lruEntry[V] // most recently used
+	tail     *lruEntry[V] // least recently used
+	capacity int
+}
+
+type lruEntry[V any] struct {
+	key        string
+	val        V
+	prev, next *lruEntry[V]
+}
+
+// newLRU returns a cache bounded to capacity entries in total (rounded up
+// to a multiple of the shard count; minimum one entry per shard).
+func newLRU[V any](capacity int) *lruCache[V] {
+	perShard := (capacity + lruShards - 1) / lruShards
+	if perShard < 1 {
+		perShard = 1
+	}
+	c := &lruCache[V]{capacity: perShard * lruShards}
+	for i := range c.shards {
+		c.shards[i] = lruShard[V]{
+			entries:  make(map[string]*lruEntry[V]),
+			capacity: perShard,
+		}
+	}
+	return c
+}
+
+// fnv1a hashes a key for shard selection.
+func fnv1a(s string) uint64 {
+	h := uint64(1469598103934665603)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+func (c *lruCache[V]) shard(key string) *lruShard[V] {
+	return &c.shards[fnv1a(key)%lruShards]
+}
+
+// Get returns the cached value and marks it most recently used.
+func (c *lruCache[V]) Get(key string) (V, bool) {
+	s := c.shard(key)
+	s.mu.Lock()
+	e, ok := s.entries[key]
+	if !ok {
+		s.mu.Unlock()
+		c.misses.Add(1)
+		var zero V
+		return zero, false
+	}
+	s.moveToFront(e)
+	v := e.val
+	s.mu.Unlock()
+	c.hits.Add(1)
+	return v, true
+}
+
+// Add inserts (or refreshes) a value, evicting the shard's least recently
+// used entry when full.
+func (c *lruCache[V]) Add(key string, v V) {
+	s := c.shard(key)
+	s.mu.Lock()
+	if e, ok := s.entries[key]; ok {
+		e.val = v
+		s.moveToFront(e)
+		s.mu.Unlock()
+		return
+	}
+	e := &lruEntry[V]{key: key, val: v}
+	s.entries[key] = e
+	s.pushFront(e)
+	var evicted bool
+	if len(s.entries) > s.capacity {
+		victim := s.tail
+		s.unlink(victim)
+		delete(s.entries, victim.key)
+		evicted = true
+	}
+	s.mu.Unlock()
+	if evicted {
+		c.evictions.Add(1)
+	}
+}
+
+// Len returns the current number of cached entries.
+func (c *lruCache[V]) Len() int {
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		n += len(s.entries)
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// Stats snapshots the cache counters.
+func (c *lruCache[V]) Stats() CacheStats {
+	return CacheStats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Evictions: c.evictions.Load(),
+		Entries:   c.Len(),
+		Capacity:  c.capacity,
+	}
+}
+
+// --- intrusive recency list (callers hold the shard lock) ---
+
+func (s *lruShard[V]) pushFront(e *lruEntry[V]) {
+	e.prev = nil
+	e.next = s.head
+	if s.head != nil {
+		s.head.prev = e
+	}
+	s.head = e
+	if s.tail == nil {
+		s.tail = e
+	}
+}
+
+func (s *lruShard[V]) unlink(e *lruEntry[V]) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		s.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		s.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+func (s *lruShard[V]) moveToFront(e *lruEntry[V]) {
+	if s.head == e {
+		return
+	}
+	s.unlink(e)
+	s.pushFront(e)
+}

@@ -1,0 +1,112 @@
+package service
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+)
+
+// flightGroup deduplicates concurrent work by canonical key: while a
+// computation for a key is in flight, further requests for the same key
+// wait for its result instead of recomputing it. This is what turns a
+// thundering herd of identical optimize/simulate requests into exactly
+// one solve.
+//
+// Unlike the textbook single-flight, the computation does not run on the
+// first caller's goroutine with the first caller's context: it runs on
+// its own goroutine under a context that is cancelled only when every
+// waiter has abandoned it. A leader hanging up therefore never poisons
+// the followers with a cancellation they did not ask for, and a shared
+// computation keeps running as long as anyone still wants the answer.
+type flightGroup struct {
+	mu sync.Mutex
+	m  map[string]*flightCall
+
+	// deduped counts requests that attached to an existing flight — the
+	// observable "solved once" metric.
+	deduped atomic.Uint64
+}
+
+type flightCall struct {
+	done    chan struct{}
+	val     any
+	err     error
+	waiters int32 // guarded by the group mutex
+	cancel  context.CancelFunc
+}
+
+func newFlightGroup() *flightGroup {
+	return &flightGroup{m: make(map[string]*flightCall)}
+}
+
+// do returns the result of fn for the key, sharing one execution among
+// all concurrent callers. shared reports whether this caller attached to
+// a flight someone else started. If ctx is done before the flight
+// completes, do returns ctx.Err() immediately — the flight itself keeps
+// running for the remaining waiters (and is cancelled once none remain).
+func (g *flightGroup) do(ctx context.Context, key string, fn func(ctx context.Context) (any, error)) (v any, shared bool, err error) {
+	g.mu.Lock()
+	if c, ok := g.m[key]; ok {
+		c.waiters++
+		g.mu.Unlock()
+		g.deduped.Add(1)
+		return g.wait(ctx, key, c, true)
+	}
+	runCtx, cancel := context.WithCancel(context.WithoutCancel(ctx))
+	c := &flightCall{done: make(chan struct{}), waiters: 1, cancel: cancel}
+	g.m[key] = c
+	g.mu.Unlock()
+
+	go func() {
+		v, err := fn(runCtx)
+		g.mu.Lock()
+		c.val, c.err = v, err
+		// An abandoned flight already removed itself (and the key may by
+		// now belong to a fresh call); only retire the map entry if it is
+		// still ours.
+		if g.m[key] == c {
+			delete(g.m, key)
+		}
+		g.mu.Unlock()
+		close(c.done)
+		cancel() // release the context's resources; the result is in
+	}()
+	return g.wait(ctx, key, c, false)
+}
+
+// wait blocks until the flight completes or the caller's ctx is done,
+// maintaining the waiter count that keeps the flight's context alive.
+func (g *flightGroup) wait(ctx context.Context, key string, c *flightCall, shared bool) (any, bool, error) {
+	select {
+	case <-c.done:
+		return c.val, shared, c.err
+	case <-ctx.Done():
+	}
+	// The caller is gone; if it was the last one, abort the flight. The
+	// completion path may have closed done concurrently — prefer the
+	// result in that case, it is already paid for.
+	select {
+	case <-c.done:
+		return c.val, shared, c.err
+	default:
+	}
+	g.mu.Lock()
+	c.waiters--
+	abandon := c.waiters == 0
+	if abandon && g.m[key] == c {
+		// Unpublish the dying call in the same critical section as the
+		// last decrement: a later request for this key must start a fresh
+		// flight rather than attach to one that is about to be cancelled
+		// and inherit a context.Canceled it never asked for.
+		delete(g.m, key)
+	}
+	g.mu.Unlock()
+	if abandon {
+		c.cancel()
+	}
+	return nil, shared, ctx.Err()
+}
+
+// Deduped returns the number of requests that were answered by attaching
+// to an in-flight computation.
+func (g *flightGroup) Deduped() uint64 { return g.deduped.Load() }

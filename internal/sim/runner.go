@@ -1,8 +1,10 @@
 package sim
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"math"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -38,7 +40,11 @@ type RunConfig struct {
 	Dist failures.Distribution
 }
 
-func (c RunConfig) withDefaults() RunConfig {
+// WithDefaults returns the effective configuration: the paper's 500-run,
+// 500-pattern budget for zero Runs/Patterns and GOMAXPROCS workers.
+// Exported so callers that key campaigns by configuration (the service
+// result cache) normalize exactly the way Simulate will.
+func (c RunConfig) WithDefaults() RunConfig {
 	if c.Runs == 0 {
 		c.Runs = 500
 	}
@@ -67,18 +73,31 @@ type RunResult struct {
 	Config RunConfig
 }
 
+// maxSimProcs bounds the machine-level processor count: int(p) for p
+// beyond 2⁶³ is undefined behaviour, and an event population anywhere
+// near this bound could never be simulated anyway. The limit is far above
+// every deployed machine of Table II and the robustness study's own
+// 2¹⁶ cap.
+const maxSimProcs = 1 << 30
+
 // Simulate runs the Monte-Carlo campaign for PATTERN(T, P) under the
 // model, fanning runs out over a worker pool with deterministic per-run
-// streams, and returns aggregated statistics.
+// streams, and returns aggregated statistics. It is SimulateContext with
+// a background context.
 func Simulate(m core.Model, t, p float64, cfg RunConfig) (RunResult, error) {
-	cfg = cfg.withDefaults()
+	return SimulateContext(context.Background(), m, t, p, cfg)
+}
+
+// SimulateContext is Simulate with cancellation: the campaign aborts
+// between runs as soon as ctx is done (returning ctx.Err()), and a run
+// failure cancels all outstanding work instead of paying for the
+// remaining runs. Cancellation never changes the statistics of a
+// campaign that completes: run i always draws from the deterministic
+// child stream Split(i).
+func SimulateContext(ctx context.Context, m core.Model, t, p float64, cfg RunConfig) (RunResult, error) {
+	cfg = cfg.WithDefaults()
 	if cfg.Runs < 1 || cfg.Patterns < 1 {
 		return RunResult{}, fmt.Errorf("sim: invalid config %+v", cfg)
-	}
-
-	type runOut struct {
-		stats PatternStats
-		err   error
 	}
 
 	var runOne func(r *rng.Rand) (PatternStats, error)
@@ -87,9 +106,17 @@ func Simulate(m core.Model, t, p float64, cfg RunConfig) (RunResult, error) {
 			"sim: non-exponential distributions need the machine-level simulator (set Machine)")
 	}
 	if cfg.Machine {
+		// int(p) is only defined while p fits the integer range; validate
+		// before converting instead of relying on downstream behaviour.
+		if math.IsNaN(p) || p < 1 {
+			return RunResult{}, fmt.Errorf("sim: machine-level simulation needs P >= 1, got %g", p)
+		}
+		if p > maxSimProcs {
+			return RunResult{}, fmt.Errorf("sim: machine-level P = %g exceeds the %d-processor limit", p, maxSimProcs)
+		}
 		procs := int(p)
 		if float64(procs) != p {
-			return RunResult{}, errors.New("sim: machine-level simulation needs integral P")
+			return RunResult{}, fmt.Errorf("sim: machine-level simulation needs integral P, got %g", p)
 		}
 		var (
 			mc  *Machine
@@ -117,75 +144,134 @@ func Simulate(m core.Model, t, p float64, cfg RunConfig) (RunResult, error) {
 	}
 
 	// Run i always draws from the deterministic child stream Split(i), so
-	// the dispatch strategy below (sequential fast path or chunked
-	// work-stealing) never changes the results. Split only reads the
-	// master state, so concurrent splitting is race-free.
+	// the dispatch strategy (sequential fast path or chunked work
+	// stealing) never changes the results. Split only reads the master
+	// state, so concurrent splitting is race-free.
 	master := rng.New(cfg.Seed)
 	hOfP := m.Profile.Overhead(p)
 
-	outs := make([]runOut, cfg.Runs)
-	workers := cfg.Workers
+	outs := make([]PatternStats, cfg.Runs)
+	err := forEachRun(ctx, cfg.Runs, cfg.Workers, func(i int) error {
+		st, err := runOne(master.Split(uint64(i)))
+		outs[i] = st
+		return err
+	})
+	if err != nil {
+		return RunResult{}, err
+	}
+
+	var overhead, meanTime stats.Welford
+	res := RunResult{Config: cfg}
+	for _, st := range outs {
+		overhead.Add(st.Overhead(t, hOfP))
+		meanTime.Add(st.MeanPatternTime())
+		res.FailStops += st.FailStops
+		res.SilentDetections += st.SilentDetections
+		res.Recoveries += st.Recoveries
+	}
+	res.Overhead = overhead.Summarize()
+	res.MeanPatternTime = meanTime.Summarize()
+	return res, nil
+}
+
+// forEachRun executes fn(i) for every i in [0, runs) over a bounded
+// worker pool, failing fast: the first error — or ctx becoming done —
+// stops every worker from claiming further work, so a run-0 failure does
+// not pay for the remaining runs. On failure it returns the error of the
+// lowest-index failed run (wrapped with the index), which keeps error
+// reporting deterministic even though later runs may or may not have
+// executed; a cancelled context wins only when no run error was recorded.
+func forEachRun(ctx context.Context, runs, workers int, fn func(i int) error) error {
 	if workers < 1 {
 		// A negative Workers would otherwise spawn no goroutines and
 		// return all-zero stats (NaN overheads) with a nil error.
 		workers = 1
 	}
-	if workers > cfg.Runs {
-		workers = cfg.Runs
+	if workers > runs {
+		workers = runs
 	}
+
 	if workers == 1 {
 		// The experiment drivers parallelize at the cell level and run
 		// each campaign with a single worker: skip the goroutine and
 		// dispatch machinery entirely.
-		for i := 0; i < cfg.Runs; i++ {
-			st, err := runOne(master.Split(uint64(i)))
-			outs[i] = runOut{stats: st, err: err}
+		for i := 0; i < runs; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := fn(i); err != nil {
+				return fmt.Errorf("sim: run %d: %w", i, err)
+			}
 		}
-	} else {
-		// Chunked dispatch: workers claim contiguous run ranges from an
-		// atomic cursor instead of receiving one channel message per run.
-		chunk := cfg.Runs / (workers * 4)
-		if chunk < 1 {
-			chunk = 1
-		}
-		var next atomic.Int64
-		var wg sync.WaitGroup
-		for w := 0; w < workers; w++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				for {
-					end := int(next.Add(int64(chunk)))
-					start := end - chunk
-					if start >= cfg.Runs {
-						return
-					}
-					if end > cfg.Runs {
-						end = cfg.Runs
-					}
-					for i := start; i < end; i++ {
-						st, err := runOne(master.Split(uint64(i)))
-						outs[i] = runOut{stats: st, err: err}
-					}
-				}
-			}()
-		}
-		wg.Wait()
+		return nil
 	}
 
-	var overhead, meanTime stats.Welford
-	res := RunResult{Config: cfg}
-	for i, out := range outs {
-		if out.err != nil {
-			return RunResult{}, fmt.Errorf("sim: run %d: %w", i, out.err)
-		}
-		overhead.Add(out.stats.Overhead(t, hOfP))
-		meanTime.Add(out.stats.MeanPatternTime())
-		res.FailStops += out.stats.FailStops
-		res.SilentDetections += out.stats.SilentDetections
-		res.Recoveries += out.stats.Recoveries
+	// Chunked dispatch: workers claim contiguous run ranges from an
+	// atomic cursor instead of receiving one channel message per run.
+	chunk := runs / (workers * 4)
+	if chunk < 1 {
+		chunk = 1
 	}
-	res.Overhead = overhead.Summarize()
-	res.MeanPatternTime = meanTime.Summarize()
-	return res, nil
+	var (
+		next      atomic.Int64
+		stopped   atomic.Bool
+		completed atomic.Int64
+		wg        sync.WaitGroup
+	)
+	errs := make([]error, runs)
+	done := ctx.Done()
+	canceled := func() bool {
+		if stopped.Load() {
+			return true
+		}
+		select {
+		case <-done:
+			return true
+		default:
+			return false
+		}
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if canceled() {
+					return
+				}
+				end := int(next.Add(int64(chunk)))
+				start := end - chunk
+				if start >= runs {
+					return
+				}
+				if end > runs {
+					end = runs
+				}
+				for i := start; i < end; i++ {
+					if canceled() {
+						return
+					}
+					if err := fn(i); err != nil {
+						errs[i] = err
+						stopped.Store(true)
+						return
+					}
+					completed.Add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return fmt.Errorf("sim: run %d: %w", i, err)
+		}
+	}
+	if completed.Load() == int64(runs) {
+		// Every run finished before the cancellation (if any) could bite:
+		// the campaign is fully computed, so return it rather than
+		// discarding paid-for work over a last-instant ctx.Err().
+		return nil
+	}
+	return ctx.Err()
 }

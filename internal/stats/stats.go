@@ -76,21 +76,24 @@ func (w *Welford) N() int64 { return w.n }
 // Mean returns the sample mean (0 for an empty accumulator).
 func (w *Welford) Mean() float64 { return w.mean }
 
-// Variance returns the unbiased sample variance.
+// Variance returns the unbiased sample variance, or NaN for fewer than
+// two observations: a single run carries no spread information, and a
+// zero here would let single-run campaigns report zero-width confidence
+// intervals as if the estimate were exact. report.Fmt renders NaN as "-".
 func (w *Welford) Variance() float64 {
 	if w.n < 2 {
-		return 0
+		return math.NaN()
 	}
 	return w.m2 / float64(w.n-1)
 }
 
-// StdDev returns the sample standard deviation.
+// StdDev returns the sample standard deviation (NaN for n < 2).
 func (w *Welford) StdDev() float64 { return math.Sqrt(w.Variance()) }
 
-// StdErr returns the standard error of the mean.
+// StdErr returns the standard error of the mean (NaN for n < 2).
 func (w *Welford) StdErr() float64 {
-	if w.n == 0 {
-		return 0
+	if w.n < 2 {
+		return math.NaN()
 	}
 	return w.StdDev() / math.Sqrt(float64(w.n))
 }
@@ -103,9 +106,11 @@ func (w *Welford) Max() float64 { return w.max }
 
 // CI returns the half-width of the two-sided confidence interval for the
 // mean at the given confidence level, using the Student-t distribution.
+// With fewer than two observations no interval exists and the result is
+// NaN (rendered "-" by report.Fmt), matching Variance/StdErr.
 func (w *Welford) CI(conf float64) float64 {
 	if w.n < 2 {
-		return math.Inf(1)
+		return math.NaN()
 	}
 	tq := xmath.StudentTQuantile(conf, int(w.n-1))
 	return tq * w.StdErr()

@@ -31,16 +31,33 @@ func TestWelfordAgainstDirect(t *testing.T) {
 }
 
 func TestWelfordEmptyAndSingle(t *testing.T) {
+	// Fewer than two observations define no spread: every spread statistic
+	// must be NaN (not zero — a zero would read as an exact estimate) so
+	// report.Fmt renders it as "-".
 	var w Welford
-	if w.Variance() != 0 || w.StdErr() != 0 {
-		t.Error("empty accumulator should have zero spread")
+	if !math.IsNaN(w.Variance()) || !math.IsNaN(w.StdErr()) {
+		t.Errorf("empty accumulator spread = (%g, %g), want NaN", w.Variance(), w.StdErr())
 	}
-	if !math.IsInf(w.CI(0.95), 1) {
-		t.Error("CI of <2 samples should be infinite")
+	if !math.IsNaN(w.CI(0.95)) {
+		t.Errorf("CI of 0 samples = %g, want NaN", w.CI(0.95))
 	}
 	w.Add(3)
-	if w.Mean() != 3 || w.Variance() != 0 {
-		t.Error("single observation stats wrong")
+	if w.Mean() != 3 {
+		t.Errorf("single observation mean = %g, want 3", w.Mean())
+	}
+	if !math.IsNaN(w.Variance()) || !math.IsNaN(w.StdDev()) || !math.IsNaN(w.StdErr()) {
+		t.Error("single observation should have NaN spread")
+	}
+	if !math.IsNaN(w.CI(0.95)) {
+		t.Errorf("CI of 1 sample = %g, want NaN", w.CI(0.95))
+	}
+	s := w.Summarize()
+	if s.N != 1 || s.Mean != 3 || !math.IsNaN(s.StdDev) || !math.IsNaN(s.StdErr) || !math.IsNaN(s.CI95) {
+		t.Errorf("single observation summary = %+v, want NaN spread fields", s)
+	}
+	w.Add(5)
+	if w.Variance() != 2 {
+		t.Errorf("variance = %g, want 2", w.Variance())
 	}
 }
 
@@ -66,8 +83,11 @@ func TestWelfordMergeProperty(t *testing.T) {
 		if a.N() == 0 {
 			return true
 		}
+		// Below two observations the variance is NaN on both sides.
+		varOK := a.N() < 2 && math.IsNaN(a.Variance()) && math.IsNaN(all.Variance()) ||
+			xmath.EqualWithin(a.Variance(), all.Variance(), 1e-9, 1e-12)
 		return xmath.EqualWithin(a.Mean(), all.Mean(), 1e-9, 1e-12) &&
-			xmath.EqualWithin(a.Variance(), all.Variance(), 1e-9, 1e-12) &&
+			varOK &&
 			a.Min() == all.Min() && a.Max() == all.Max()
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {

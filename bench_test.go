@@ -20,6 +20,7 @@ import (
 	"amdahlyd/internal/rng"
 	"amdahlyd/internal/service"
 	"amdahlyd/internal/sim"
+	"amdahlyd/internal/xmath"
 )
 
 // benchConfig is the reduced Monte-Carlo budget used by the per-figure
@@ -176,6 +177,59 @@ func BenchmarkNumericalOptimum(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := optimize.OptimalPattern(m, optimize.PatternOptions{}); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBatchSweepSolve measures the warm-start batch solver over a
+// 32-cell λ_ind axis (scenario 3, the Fig. 5 shape). The amortized
+// per-cell cost is the reported ns/cell metric — the acceptance record
+// of the sweep solver: ≥5× below the cold BenchmarkNumericalOptimum.
+func BenchmarkBatchSweepSolve(b *testing.B) {
+	base := heraModel(b, costmodel.Scenario3, 0.1)
+	lambdas := xmath.Logspace(1e-12, 1e-8, 32)
+	models := make([]core.Model, len(lambdas))
+	for i, l := range lambdas {
+		m := base
+		m.LambdaInd = l
+		models[i] = m
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := optimize.BatchOptimalPattern(models, optimize.SweepOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res) != len(models) {
+			b.Fatal("short result")
+		}
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*len(models)), "ns/cell")
+}
+
+// BenchmarkSweepSolverWarmCell measures the marginal cost of one warm
+// cell: the solver alternates between two adjacent axis cells, so every
+// timed solve runs inside the warm bracket of its neighbour.
+func BenchmarkSweepSolverWarmCell(b *testing.B) {
+	m1 := heraModel(b, costmodel.Scenario3, 0.1)
+	m2 := m1
+	m2.LambdaInd = m1.LambdaInd * 1.3
+	s := optimize.NewSweepSolver(optimize.SweepOptions{})
+	if _, err := s.Solve(m1); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := m1
+		if i%2 == 0 {
+			m = m2
+		}
+		res, err := s.Solve(m)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Warm {
+			b.Fatal("cell did not warm-start")
 		}
 	}
 }
@@ -448,4 +502,53 @@ func BenchmarkServiceHTTPOptimizeCold(b *testing.B) {
 func BenchmarkServiceHTTPOptimizeWarm(b *testing.B) {
 	body := []byte(`{"model":{"platform":"hera","scenario":3}}`)
 	benchHTTPOptimize(b, func(int) []byte { return body })
+}
+
+// BenchmarkServiceSweepCold measures a whole 16-cell axis solved as one
+// engine sweep job with nothing cached (λ scale varies per iteration):
+// the per-request price of a cold /v1/sweep, to be read against 16 cold
+// /v1/optimize requests.
+func BenchmarkServiceSweepCold(b *testing.B) {
+	e := service.NewEngine(service.Options{ResultCacheSize: 16})
+	base := heraModel(b, costmodel.Scenario3, 0.1)
+	ctx := context.Background()
+	lambdas := xmath.Logspace(1e-12, 1e-8, 16)
+	for i := 0; i < b.N; i++ {
+		models := make([]core.Model, len(lambdas))
+		for j, l := range lambdas {
+			m := base
+			m.LambdaInd = l * (1 + float64(i)*1e-9)
+			models[j] = m
+		}
+		if _, _, err := e.Sweep(ctx, models, optimize.PatternOptions{}, false); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkServiceSweepWarm measures the same axis replayed from the
+// per-cell cache.
+func BenchmarkServiceSweepWarm(b *testing.B) {
+	e := service.NewEngine(service.Options{})
+	base := heraModel(b, costmodel.Scenario3, 0.1)
+	ctx := context.Background()
+	models := make([]core.Model, 16)
+	for j, l := range xmath.Logspace(1e-12, 1e-8, 16) {
+		m := base
+		m.LambdaInd = l
+		models[j] = m
+	}
+	if _, _, err := e.Sweep(ctx, models, optimize.PatternOptions{}, false); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cells, _, err := e.Sweep(ctx, models, optimize.PatternOptions{}, false)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !cells[0].Cached {
+			b.Fatal("warm sweep missed the cache")
+		}
+	}
 }

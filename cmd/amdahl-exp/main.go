@@ -7,6 +7,13 @@
 //	amdahl-exp -fig 2                  # Fig. 2 on all four platforms
 //	amdahl-exp -fig 5 -quick           # reduced Monte-Carlo budget
 //	amdahl-exp -fig all -out results/  # everything, with CSV files
+//	amdahl-exp -fig 4 -warm=false      # per-cell grid scans (no warm-start)
+//
+// Sweep cells are solved by a warm-start chain per scenario (see
+// DESIGN.md, "Warm-start sweep solver"); -warm=false restores the
+// historical per-cell grid scans, bit-identical to releases before the
+// batch solver. Rendered outputs are byte-identical either way for a
+// fixed seed.
 //
 // The robustness subcommand stresses the exponential-optimal patterns
 // against non-memoryless failure laws (Weibull, log-normal, Gamma),
@@ -84,6 +91,7 @@ func runRobustness(ctx context.Context, args []string) error {
 	seed := fs.Uint64("seed", 1, "random seed")
 	runs := fs.Int("runs", 0, "override Monte-Carlo runs per point")
 	patterns := fs.Int("patterns", 0, "override patterns per run")
+	warm := fs.Bool("warm", true, "warm-start the per-scenario optimizations; -warm=false restores the per-cell grid scans")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -95,6 +103,7 @@ func runRobustness(ctx context.Context, args []string) error {
 		return err
 	}
 	cfg := buildConfig(*quick, *seed, *runs, *patterns)
+	cfg.ColdSolve = !*warm
 	shapes := experiments.DefaultRobustnessShapes
 	switch {
 	case failures.IsExponentialName(*dist):
@@ -150,6 +159,7 @@ func run(ctx context.Context, args []string) error {
 	seed := fs.Uint64("seed", 1, "random seed")
 	runs := fs.Int("runs", 0, "override Monte-Carlo runs per point")
 	patterns := fs.Int("patterns", 0, "override patterns per run")
+	warm := fs.Bool("warm", true, "warm-start sweep cells from the neighbouring optimum; -warm=false restores the per-cell grid scans")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -160,6 +170,7 @@ func run(ctx context.Context, args []string) error {
 	}
 
 	cfg := buildConfig(*quick, *seed, *runs, *patterns)
+	cfg.ColdSolve = !*warm
 
 	sweepPlatform := platform.Hera()
 	fig2Platforms := platform.All()

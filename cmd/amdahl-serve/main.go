@@ -1,21 +1,25 @@
 // Command amdahl-serve exposes the Amdahl/Young-Daly analyses as a
 // long-running JSON-over-HTTP planning service: evaluate (exact overhead
 // and pattern time at a given (T, P)), optimize (the numerical optimum
-// (T*, P*)) and simulate (seeded Monte-Carlo campaigns, including the
-// non-exponential -dist laws).
+// (T*, P*)), simulate (seeded Monte-Carlo campaigns, including the
+// non-exponential -dist laws), and sweep (a whole figure axis solved as
+// one warm-start chain, streamed back as NDJSON rows).
 //
 // One process amortizes repeated configurations across requests: compiled
 // evaluators, optimizer results and campaign results are cached under
 // canonical model keys, concurrent identical requests solve once
 // (single-flight), heavy jobs run on a bounded scheduler, and a client
 // hang-up cancels its in-flight campaign. Results are bit-identical to
-// the amdahl-opt / amdahl-sim CLI tools for the same parameters.
+// the amdahl-opt / amdahl-sim CLI tools for the same parameters (sweep
+// cells match per-cell optimization within the refinement tolerance, or
+// bitwise with "cold":true).
 //
 // Usage:
 //
 //	amdahl-serve -addr :8080
 //	curl -s localhost:8080/v1/optimize -d '{"model":{"platform":"hera","scenario":1}}'
 //	curl -s localhost:8080/v1/simulate -d '{"model":{"platform":"hera"},"runs":100,"seed":1}'
+//	curl -s localhost:8080/v1/sweep -d '{"model":{"platform":"hera","scenario":3},"axis":"lambda","values":[1e-10,2e-10,4e-10]}'
 //	curl -s localhost:8080/v1/stats
 package main
 

@@ -52,12 +52,29 @@
 // against a re-tuned period. Exponential fast paths stay bit-identical
 // for fixed seeds, pinned by golden tests. See DESIGN.md.
 //
+// # Batch sweeps: SweepSolver, not per-cell solves
+//
+// Sweep-shaped work — many optimizations along an ordered axis over
+// which the optimum varies smoothly — should go through
+// optimize.SweepSolver / optimize.BatchOptimalPattern (or the service's
+// POST /v1/sweep, which adds per-cell caching and single-flight),
+// never through per-cell OptimalPattern calls: the solver warm-starts
+// each cell from its neighbour's optimum (narrow bracket + Brent
+// polish, cold fallback on class changes or bracket escapes) at ~an
+// order of magnitude below the per-cell cost, with property tests
+// pinning warm-vs-cold agreement. The experiment drivers (Figs. 2, 4–7,
+// baselines, robustness) already route through it; amdahl-exp
+// -warm=false restores the per-cell scans. See DESIGN.md, "Warm-start
+// sweep solver".
+//
 // # Service layer
 //
 // internal/service + cmd/amdahl-serve turn the analyses into a planning
 // API: JSON endpoints for evaluate (exact overhead/pattern time at a
-// given (T, P)), optimize ((T*, P*) via internal/optimize) and simulate
-// (seeded Monte-Carlo campaigns, machine-level and -dist laws included).
+// given (T, P)), optimize ((T*, P*) via internal/optimize), simulate
+// (seeded Monte-Carlo campaigns, machine-level and -dist laws included)
+// and sweep (a whole axis solved as one warm-start chain, streamed as
+// NDJSON, one cache entry per cell).
 // The engine caches compiled Frozen evaluators, optimizer results and
 // campaign results in sharded LRUs under canonical model keys
 // (core.Model.CacheKey: exact hex float encoding, structural profile

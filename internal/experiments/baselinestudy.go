@@ -6,6 +6,7 @@ import (
 	"io"
 
 	"amdahlyd/internal/baselines"
+	"amdahlyd/internal/core"
 	"amdahlyd/internal/costmodel"
 	"amdahlyd/internal/optimize"
 	"amdahlyd/internal/platform"
@@ -46,21 +47,29 @@ func BaselineStudy(platforms []platform.Platform, sc costmodel.Scenario, cfg Con
 	return BaselineStudyContext(context.Background(), platforms, sc, cfg)
 }
 
-// BaselineStudyContext is BaselineStudy with cancellation.
+// BaselineStudyContext is BaselineStudy with cancellation. The numerical
+// optima are solved as one warm-start chain across the platform list
+// (the scenario — and hence the objective class — is fixed, so adjacent
+// platforms bracket each other; see optimize.SweepSolver).
 func BaselineStudyContext(ctx context.Context, platforms []platform.Platform, sc costmodel.Scenario, cfg Config) (*BaselineStudyResult, error) {
 	cfg = cfg.withDefaults()
-	cells := make([]BaselineCell, len(platforms))
-	err := parallelFor(ctx, len(platforms), cfg.Workers, func(ctx context.Context, i int) error {
-		pl := platforms[i]
-		label := fmt.Sprintf("baselines/%s/%v", pl.Name, sc)
+	models := make([]core.Model, len(platforms))
+	for i, pl := range platforms {
 		m, err := BuildModel(pl, sc, cfg.Alpha, cfg.Downtime)
 		if err != nil {
-			return err
+			return nil, err
 		}
-		num, err := optimize.OptimalPattern(m, optimize.PatternOptions{})
-		if err != nil {
-			return err
-		}
+		models[i] = m
+	}
+	nums, err := optimize.BatchOptimalPattern(models, optimize.SweepOptions{Cold: cfg.ColdSolve})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: optimizing baselines/%v: %w", sc, err)
+	}
+	cells := make([]BaselineCell, len(platforms))
+	err = parallelFor(ctx, len(platforms), cfg.Workers, func(ctx context.Context, i int) error {
+		pl := platforms[i]
+		label := fmt.Sprintf("baselines/%s/%v", pl.Name, sc)
+		m, num := models[i], nums[i]
 		opt, err := simulateEval(ctx, m, num.Solution, num.AtPBound, cfg, label+"/optimal")
 		if err != nil {
 			return err

@@ -15,11 +15,11 @@ import (
 	"fmt"
 	"math"
 	"runtime"
+	"strconv"
 	"sync"
 
 	"amdahlyd/internal/core"
 	"amdahlyd/internal/costmodel"
-	"amdahlyd/internal/optimize"
 	"amdahlyd/internal/platform"
 	"amdahlyd/internal/sim"
 	"amdahlyd/internal/speedup"
@@ -49,6 +49,10 @@ type Config struct {
 	// AlphaSet marks Alpha as explicitly configured, so Alpha: 0 selects
 	// the perfectly parallel profile rather than the default 0.1.
 	AlphaSet bool
+	// ColdSolve disables the warm-start sweep solver: every sweep cell
+	// pays the full OptimalPattern grid scan, bit-identical to the
+	// historical per-cell path (the amdahl-exp -warm=false escape hatch).
+	ColdSolve bool
 }
 
 // WithDowntime returns a copy with the downtime explicitly configured;
@@ -141,13 +145,38 @@ type Eval struct {
 // cellSeed derives a stable per-cell seed from the master seed and a cell
 // label, so adding or reordering cells never changes other cells' streams.
 func cellSeed(master uint64, label string) uint64 {
-	h := uint64(1469598103934665603)
-	for i := 0; i < len(label); i++ {
-		h ^= uint64(label[i])
+	return uint64(newSeedHash().str(label)) ^ master
+}
+
+// seedHash is a streaming FNV-1a over the bytes a cell label would
+// contain, so the sweep hot path can derive cellSeed-identical seeds
+// without materializing the fmt.Sprintf label (which is now built only
+// on error paths). The digest over str/float parts is bit-identical to
+// hashing the concatenated formatted string.
+type seedHash uint64
+
+func newSeedHash() seedHash { return 1469598103934665603 }
+
+func (h seedHash) str(s string) seedHash {
+	for i := 0; i < len(s); i++ {
+		h ^= seedHash(s[i])
 		h *= 1099511628211
 	}
-	return h ^ master
+	return h
 }
+
+// float hashes the exact bytes fmt's %g verb renders for x.
+func (h seedHash) float(x float64) seedHash {
+	var buf [32]byte
+	b := strconv.AppendFloat(buf[:0], x, 'g', -1, 64)
+	for _, c := range b {
+		h ^= seedHash(c)
+		h *= 1099511628211
+	}
+	return h
+}
+
+func (h seedHash) seed(master uint64) uint64 { return uint64(h) ^ master }
 
 // simulateEval prices a solution with the Monte-Carlo simulator. A
 // solution that sits too deep in the failure-dominated regime to simulate
@@ -156,10 +185,19 @@ func cellSeed(master uint64, label string) uint64 {
 // the processor search bound) is returned with NaN simulated fields and
 // the model prediction intact.
 func simulateEval(ctx context.Context, m core.Model, sol core.Solution, atBound bool, cfg Config, label string) (Eval, error) {
+	return simulateEvalSeed(ctx, m, sol, atBound, cfg, cellSeed(cfg.Seed, label),
+		func() string { return label })
+}
+
+// simulateEvalSeed is simulateEval with the campaign seed precomputed and
+// the label deferred to a thunk: the sweep hot path derives both from the
+// streaming seedHash, so the per-cell fmt.Sprintf happens only when an
+// error actually needs the label.
+func simulateEvalSeed(ctx context.Context, m core.Model, sol core.Solution, atBound bool, cfg Config, seed uint64, label func() string) (Eval, error) {
 	res, err := sim.SimulateContext(ctx, m, sol.T, sol.P, sim.RunConfig{
 		Runs:     cfg.Runs,
 		Patterns: cfg.Patterns,
-		Seed:     cellSeed(cfg.Seed, label),
+		Seed:     seed,
 		Workers:  1, // parallelism lives at the cell level
 	})
 	if errors.Is(err, sim.ErrErrorPressure) {
@@ -174,7 +212,7 @@ func simulateEval(ctx context.Context, m core.Model, sol core.Solution, atBound 
 		}, nil
 	}
 	if err != nil {
-		return Eval{}, fmt.Errorf("experiments: simulating %s: %w", label, err)
+		return Eval{}, fmt.Errorf("experiments: simulating %s: %w", label(), err)
 	}
 	return Eval{
 		P:          sol.P,
@@ -190,6 +228,14 @@ func simulateEval(ctx context.Context, m core.Model, sol core.Solution, atBound 
 // solveFirstOrder returns the simulated first-order solution, or nil when
 // the first-order analysis has no bounded optimum (scenario 6, or α = 0).
 func solveFirstOrder(ctx context.Context, m core.Model, cfg Config, label string) (*Eval, error) {
+	return solveFirstOrderSeed(ctx, m, cfg,
+		cellSeed(cfg.Seed, label+"/first-order"),
+		func() string { return label + "/first-order" })
+}
+
+// solveFirstOrderSeed is solveFirstOrder with the campaign seed
+// precomputed and the label deferred (see simulateEvalSeed).
+func solveFirstOrderSeed(ctx context.Context, m core.Model, cfg Config, seed uint64, label func() string) (*Eval, error) {
 	sol, err := m.FirstOrder()
 	if errors.Is(err, core.ErrNoFirstOrder) {
 		return nil, nil
@@ -200,20 +246,7 @@ func solveFirstOrder(ctx context.Context, m core.Model, cfg Config, label string
 	if sol.P < 1 {
 		sol.P = 1
 	}
-	ev, err := simulateEval(ctx, m, sol, false, cfg, label+"/first-order")
-	if err != nil {
-		return nil, err
-	}
-	return &ev, nil
-}
-
-// solveNumerical returns the simulated numerical optimum.
-func solveNumerical(ctx context.Context, m core.Model, cfg Config, label string) (*Eval, error) {
-	num, err := optimize.OptimalPattern(m, optimize.PatternOptions{})
-	if err != nil {
-		return nil, fmt.Errorf("experiments: optimizing %s: %w", label, err)
-	}
-	ev, err := simulateEval(ctx, m, num.Solution, num.AtPBound, cfg, label+"/numerical")
+	ev, err := simulateEvalSeed(ctx, m, sol, false, cfg, seed, label)
 	if err != nil {
 		return nil, err
 	}

@@ -5,7 +5,9 @@ import (
 	"fmt"
 	"io"
 
+	"amdahlyd/internal/core"
 	"amdahlyd/internal/costmodel"
+	"amdahlyd/internal/optimize"
 	"amdahlyd/internal/platform"
 	"amdahlyd/internal/report"
 )
@@ -35,35 +37,62 @@ func Fig2(platforms []platform.Platform, cfg Config) (*Fig2Result, error) {
 
 // Fig2Context is Fig2 with cancellation: a done ctx aborts in-flight
 // Monte-Carlo campaigns and skips undispatched cells.
+//
+// The numerical optima are solved as one warm-start chain per scenario
+// across the platform list (optimize.SweepSolver): for a fixed scenario
+// the optimum moves by only a few × between Table II platforms, so most
+// platform cells warm-start from their neighbour; a platform whose
+// optimum drifted outside the bracket falls back to the full scan.
+// Simulation then prices all cells in parallel with the historical
+// per-cell seeds.
 func Fig2Context(ctx context.Context, platforms []platform.Platform, cfg Config) (*Fig2Result, error) {
 	cfg = cfg.withDefaults()
-	type cellIdx struct {
-		pl platform.Platform
-		sc costmodel.Scenario
-	}
-	var idx []cellIdx
-	for _, pl := range platforms {
-		for _, sc := range costmodel.AllScenarios {
-			idx = append(idx, cellIdx{pl, sc})
+	scenarios := costmodel.AllScenarios
+	nS := len(scenarios)
+	models := make([]core.Model, len(platforms)*nS)
+	for pi, pl := range platforms {
+		for si, sc := range scenarios {
+			m, err := BuildModel(pl, sc, cfg.Alpha, cfg.Downtime)
+			if err != nil {
+				return nil, err
+			}
+			models[pi*nS+si] = m
 		}
 	}
-	cells := make([]Fig2Cell, len(idx))
-	err := parallelFor(ctx, len(idx), cfg.Workers, func(ctx context.Context, i int) error {
-		pl, sc := idx[i].pl, idx[i].sc
+
+	nums := make([]optimize.PatternResult, len(models))
+	err := parallelFor(ctx, nS, cfg.Workers, func(ctx context.Context, si int) error {
+		solver := optimize.NewSweepSolver(optimize.SweepOptions{Cold: cfg.ColdSolve})
+		for pi := range platforms {
+			i := pi*nS + si
+			num, err := solver.Solve(models[i])
+			if err != nil {
+				return fmt.Errorf("experiments: optimizing fig2/%s/%v: %w",
+					platforms[pi].Name, scenarios[si], err)
+			}
+			nums[i] = num
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	cells := make([]Fig2Cell, len(models))
+	err = parallelFor(ctx, len(models), cfg.Workers, func(ctx context.Context, i int) error {
+		pi, si := i/nS, i%nS
+		pl, sc := platforms[pi], scenarios[si]
 		label := fmt.Sprintf("fig2/%s/%v", pl.Name, sc)
-		m, err := BuildModel(pl, sc, cfg.Alpha, cfg.Downtime)
-		if err != nil {
-			return err
-		}
+		m := models[i]
 		fo, err := solveFirstOrder(ctx, m, cfg, label)
 		if err != nil {
 			return err
 		}
-		opt, err := solveNumerical(ctx, m, cfg, label)
+		opt, err := simulateEval(ctx, m, nums[i].Solution, nums[i].AtPBound, cfg, label+"/numerical")
 		if err != nil {
 			return err
 		}
-		cells[i] = Fig2Cell{Platform: pl.Name, Scenario: sc, FirstOrder: fo, Optimal: opt}
+		cells[i] = Fig2Cell{Platform: pl.Name, Scenario: sc, FirstOrder: fo, Optimal: &opt}
 		return nil
 	})
 	if err != nil {

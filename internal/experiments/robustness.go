@@ -7,6 +7,7 @@ import (
 	"io"
 	"math"
 
+	"amdahlyd/internal/core"
 	"amdahlyd/internal/costmodel"
 	"amdahlyd/internal/failures"
 	"amdahlyd/internal/optimize"
@@ -115,24 +116,34 @@ func RobustnessStudyContext(ctx context.Context, pl platform.Platform, distName 
 		return nil, err
 	}
 
+	// The exponential-optimal pattern depends only on the scenario, not
+	// on the stressed shape: solve once per scenario (one warm-start
+	// chain) instead of once per (scenario, shape) cell.
+	scModels := make([]core.Model, len(scenarios))
+	for i, sc := range scenarios {
+		m, err := BuildModel(pl, sc, cfg.Alpha, cfg.Downtime)
+		if err != nil {
+			return nil, err
+		}
+		scModels[i] = m
+	}
+	scNums, err := optimize.BatchOptimalPattern(scModels, optimize.SweepOptions{Cold: cfg.ColdSolve})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: optimizing robustness/%s/%s: %w", pl.Name, distName, err)
+	}
+
 	cells := make([]RobustnessCell, len(scenarios)*len(shapes))
-	err := parallelFor(ctx, len(cells), cfg.Workers, func(ctx context.Context, i int) error {
+	err = parallelFor(ctx, len(cells), cfg.Workers, func(ctx context.Context, i int) error {
 		sc := scenarios[i/len(shapes)]
 		shape := shapes[i%len(shapes)]
 		label := fmt.Sprintf("robustness/%s/%s/k%g/%v", pl.Name, distName, shape, sc)
 
-		m, err := BuildModel(pl, sc, cfg.Alpha, cfg.Downtime)
-		if err != nil {
-			return err
-		}
+		m := scModels[i/len(shapes)]
 		dist, err := failures.ParseDistribution(distName, shape, pl.LambdaInd)
 		if err != nil {
 			return err
 		}
-		num, err := optimize.OptimalPattern(m, optimize.PatternOptions{})
-		if err != nil {
-			return fmt.Errorf("experiments: optimizing %s: %w", label, err)
-		}
+		num := scNums[i/len(shapes)]
 		procs := int(math.Round(num.P))
 		if procs < 1 {
 			procs = 1

@@ -7,6 +7,7 @@ import (
 
 	"amdahlyd/internal/core"
 	"amdahlyd/internal/costmodel"
+	"amdahlyd/internal/optimize"
 	"amdahlyd/internal/report"
 )
 
@@ -36,36 +37,69 @@ type SweepResult struct {
 // modelBuilder produces the model for a given sweep coordinate.
 type modelBuilder func(x float64, sc costmodel.Scenario) (core.Model, error)
 
-// runSweep evaluates all (scenario ∈ {1,3,5}) × xs cells in parallel.
+// runSweep evaluates all (scenario ∈ {1,3,5}) × xs cells in two phases.
+// Phase 1 solves the numerical optima as one warm-start chain per
+// scenario: the cells along a sweep axis are ordered and (T*, P*) varies
+// smoothly, so each cell's optimum brackets the next solve
+// (optimize.SweepSolver; cfg.ColdSolve restores the historical per-cell
+// grid scans). Phase 2 prices every cell by Monte-Carlo in parallel,
+// with seeds bit-identical to the historical per-cell path (the label
+// strings are no longer materialized per cell — only their hash — and
+// are formatted only when an error needs them).
 func runSweep(ctx context.Context, name, xLabel string, xs []float64, build modelBuilder, cfg Config) (*SweepResult, error) {
 	cfg = cfg.withDefaults()
-	type cellIdx struct {
-		sc costmodel.Scenario
-		x  float64
+	nCells := len(scenarios135) * len(xs)
+	models := make([]core.Model, nCells)
+	nums := make([]optimize.PatternResult, nCells)
+
+	err := parallelFor(ctx, len(scenarios135), cfg.Workers, func(ctx context.Context, si int) error {
+		sc := scenarios135[si]
+		solver := optimize.NewSweepSolver(optimize.SweepOptions{Cold: cfg.ColdSolve})
+		for xi, x := range xs {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			m, err := build(x, sc)
+			if err != nil {
+				return err
+			}
+			num, err := solver.Solve(m)
+			if err != nil {
+				return fmt.Errorf("experiments: optimizing %s/%v/%s=%g: %w",
+					name, sc, xLabel, x, err)
+			}
+			i := si*len(xs) + xi
+			models[i], nums[i] = m, num
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	var idx []cellIdx
-	for _, sc := range scenarios135 {
-		for _, x := range xs {
-			idx = append(idx, cellIdx{sc, x})
+
+	points := make([]SweepPoint, nCells)
+	err = parallelFor(ctx, nCells, cfg.Workers, func(ctx context.Context, i int) error {
+		si, xi := i/len(xs), i%len(xs)
+		sc, x := scenarios135[si], xs[xi]
+		m, num := models[i], nums[i]
+		base := newSeedHash().str(name).str("/").str(sc.String()).
+			str("/").str(xLabel).str("=").float(x)
+		label := func(suffix string) func() string {
+			return func() string {
+				return fmt.Sprintf("%s/%v/%s=%g%s", name, sc, xLabel, x, suffix)
+			}
 		}
-	}
-	points := make([]SweepPoint, len(idx))
-	err := parallelFor(ctx, len(idx), cfg.Workers, func(ctx context.Context, i int) error {
-		sc, x := idx[i].sc, idx[i].x
-		label := fmt.Sprintf("%s/%v/%s=%g", name, sc, xLabel, x)
-		m, err := build(x, sc)
+		fo, err := solveFirstOrderSeed(ctx, m, cfg,
+			base.str("/first-order").seed(cfg.Seed), label("/first-order"))
 		if err != nil {
 			return err
 		}
-		fo, err := solveFirstOrder(ctx, m, cfg, label)
+		opt, err := simulateEvalSeed(ctx, m, num.Solution, num.AtPBound, cfg,
+			base.str("/numerical").seed(cfg.Seed), label("/numerical"))
 		if err != nil {
 			return err
 		}
-		opt, err := solveNumerical(ctx, m, cfg, label)
-		if err != nil {
-			return err
-		}
-		points[i] = SweepPoint{Scenario: sc, X: x, FirstOrder: fo, Optimal: opt}
+		points[i] = SweepPoint{Scenario: sc, X: x, FirstOrder: fo, Optimal: &opt}
 		return nil
 	})
 	if err != nil {

@@ -241,6 +241,25 @@ func GenerateTraceDist(dist Distribution, f float64, procs int, horizon float64,
 		return nil, err
 	}
 	tr := &Trace{Horizon: horizon}
+	// Preallocate the event buffer from the renewal-density estimate
+	// procs × horizon/MTBF (plus a ~4σ Poisson margin): the generator's
+	// dominant cost was regrowing this slice through the doubling
+	// schedule, ~3× the final buffer in wasted copies and garbage.
+	if mean := dist.Mean(); mean > 0 && !math.IsInf(mean, 0) {
+		est := float64(procs) * horizon / mean
+		// Clamp in float space: int(est) is implementation-defined once
+		// est exceeds the integer range, and a negative hint would panic
+		// makeslice where the generator's own event cap reports a clean
+		// error. Estimates beyond maxTracePrealloc (~50 MB of events)
+		// start from that cap and grow the honest way — preallocating
+		// the full 16M-event ceiling up front would cost ~400 MB on what
+		// is usually a parameterization error.
+		hint := maxTracePrealloc
+		if bound := est + 4*math.Sqrt(est) + 16; bound < maxTracePrealloc {
+			hint = int(bound)
+		}
+		tr.Events = make([]Event, 0, hint)
+	}
 	for p := 0; p < procs; p++ {
 		pr := r.Split(uint64(p))
 		stalls := 0
@@ -279,6 +298,10 @@ const maxTraceEvents = 16 << 20
 // maxStalledDraws bounds consecutive draws that fail to advance the
 // trace clock before generation gives up on a degenerate law.
 const maxStalledDraws = 1000
+
+// maxTracePrealloc bounds the event-buffer preallocation hint (~2M
+// events, ~50 MB); denser traces grow through append's doubling.
+const maxTracePrealloc = 1 << 21
 
 // SortEvents orders a merged event slice by (Time, Proc), stably. The
 // tie-break matters: continuous draws make cross-processor time

@@ -76,6 +76,10 @@ type PatternResult struct {
 	AtPBound bool
 	// Evals counts exact-formula evaluations.
 	Evals int
+	// Warm reports that the result was produced by a SweepSolver
+	// warm-start solve (narrow bracket around the previous cell's
+	// optimum) rather than the full cold grid scan.
+	Warm bool
 }
 
 // OptimalPeriod minimizes the exact overhead over T for a fixed processor

@@ -228,17 +228,3 @@ func GridRefine(f Func, lo, hi float64, points int, logAxis bool, tol float64) (
 	}
 	return res, nil
 }
-
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
-}
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}

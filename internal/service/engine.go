@@ -28,6 +28,7 @@ import (
 	"fmt"
 	"math"
 	"runtime"
+	"strings"
 	"sync/atomic"
 
 	"amdahlyd/internal/core"
@@ -87,11 +88,12 @@ type Engine struct {
 	// sem is the bounded job scheduler: one slot per executing job.
 	sem chan struct{}
 
-	evals     atomic.Uint64
-	optCalls  atomic.Uint64
-	simCalls  atomic.Uint64
-	inFlight  atomic.Int64
-	cancelled atomic.Uint64
+	evals      atomic.Uint64
+	optCalls   atomic.Uint64
+	simCalls   atomic.Uint64
+	sweepCalls atomic.Uint64
+	inFlight   atomic.Int64
+	cancelled  atomic.Uint64
 }
 
 // NewEngine builds an engine with the given options.
@@ -217,6 +219,92 @@ func (e *Engine) Optimize(ctx context.Context, m core.Model, opts optimize.Patte
 	return v.(optimize.PatternResult), shared, nil
 }
 
+// SweepCell is one solved cell of a batched sweep: the optimizer result
+// plus whether it was served from the per-cell cache.
+type SweepCell struct {
+	Result optimize.PatternResult
+	Cached bool
+}
+
+// maxSweepKeyModels caps how many per-cell canonical keys the sweep
+// flight key concatenates; beyond it the request is rejected upstream
+// (the HTTP handler enforces a smaller cell cap anyway).
+const maxSweepKeyModels = 1 << 16
+
+// Sweep solves an ordered axis of related models as one engine job: a
+// single scheduler slot, single-flight on the whole-axis key (concurrent
+// identical sweeps solve once), and one optimizer-cache entry per cell.
+// Cells are solved by a warm-start chain (optimize.SweepSolver) — each
+// optimum brackets the next, which is what makes a cold axis ~an order
+// of magnitude cheaper than per-cell /v1/optimize requests. A cached
+// cell primes the chain without re-solving.
+//
+// Cache namespaces: cold-mode cells are bit-identical to OptimalPattern
+// and share the /v1/optimize cache entries in both directions; warm-mode
+// cells agree within the refinement tolerance but not bitwise, so they
+// live under a separate per-cell namespace — a sweep never changes what
+// /v1/optimize returns.
+func (e *Engine) Sweep(ctx context.Context, models []core.Model, opts optimize.PatternOptions, cold bool) (res []SweepCell, shared bool, err error) {
+	e.sweepCalls.Add(1)
+	if len(models) == 0 {
+		return nil, false, errors.New("service: sweep needs at least one cell")
+	}
+	if len(models) > maxSweepKeyModels {
+		return nil, false, fmt.Errorf("service: sweep of %d cells exceeds the %d-cell limit", len(models), maxSweepKeyModels)
+	}
+	ns := "#swopt#"
+	if cold {
+		ns = "#opt#"
+	}
+	ok := optionsKey(opts)
+	keys := make([]string, len(models))
+	var flightKey strings.Builder
+	flightKey.WriteString("sweep#")
+	if cold {
+		flightKey.WriteString("cold#")
+	}
+	flightKey.WriteString(ok)
+	for i, m := range models {
+		mk, err := m.CacheKey()
+		if err != nil {
+			return nil, false, err
+		}
+		keys[i] = mk + ns + ok
+		flightKey.WriteString("|")
+		flightKey.WriteString(mk)
+	}
+	v, shared, err := e.flight.do(ctx, flightKey.String(), func(ctx context.Context) (any, error) {
+		if err := e.acquire(ctx); err != nil {
+			return nil, err
+		}
+		defer e.release()
+		solver := optimize.NewSweepSolver(optimize.SweepOptions{PatternOptions: opts, Cold: cold})
+		out := make([]SweepCell, len(models))
+		for i, m := range models {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			if r, ok := e.optimizes.Get(keys[i]); ok {
+				solver.Observe(m, r)
+				out[i] = SweepCell{Result: r, Cached: true}
+				continue
+			}
+			r, err := solver.Solve(m)
+			if err != nil {
+				return nil, fmt.Errorf("service: sweep cell %d: %w", i, err)
+			}
+			e.optimizes.Add(keys[i], r)
+			out[i] = SweepCell{Result: r}
+		}
+		return out, nil
+	})
+	if err != nil {
+		e.countCancelled(err)
+		return nil, false, err
+	}
+	return v.([]SweepCell), shared, nil
+}
+
 // countCancelled maintains the operator-facing cancellation counter: only
 // genuine cancellations count, not arbitrary errors that happen to race a
 // client hang-up.
@@ -297,6 +385,7 @@ type Stats struct {
 	Evaluations   uint64     `json:"evaluations"`
 	OptimizeCalls uint64     `json:"optimize_calls"`
 	SimulateCalls uint64     `json:"simulate_calls"`
+	SweepCalls    uint64     `json:"sweep_calls"`
 	Deduplicated  uint64     `json:"deduplicated"`
 	Cancelled     uint64     `json:"cancelled"`
 	InFlight      int64      `json:"in_flight"`
@@ -312,6 +401,7 @@ func (e *Engine) Stats() Stats {
 		Evaluations:   e.evals.Load(),
 		OptimizeCalls: e.optCalls.Load(),
 		SimulateCalls: e.simCalls.Load(),
+		SweepCalls:    e.sweepCalls.Load(),
 		Deduplicated:  e.flight.Deduped(),
 		Cancelled:     e.cancelled.Load(),
 		InFlight:      e.inFlight.Load(),

@@ -31,6 +31,7 @@ const maxRequestBody = 1 << 20
 const (
 	maxRequestPatternBudget = 1e9     // runs × patterns per request
 	maxRequestMachineProcs  = 1 << 16 // machine-level P per request
+	maxRequestSweepCells    = 4096    // axis values per sweep request
 )
 
 // ModelSpec selects a model the same way the CLI tools do: a Table II
@@ -142,6 +143,64 @@ type OptimizeResponse struct {
 	Cached   bool    `json:"cached"`
 }
 
+// SweepRequest solves a whole sweep axis in one request: the base model
+// with one parameter — the axis — replaced by each value in turn, the
+// cells solved as a single warm-start chain on the engine (one scheduler
+// slot, single-flight on the axis, one cache entry per cell). The
+// response is NDJSON: one SweepRow per value, streamed in order.
+type SweepRequest struct {
+	Model ModelSpec `json:"model"`
+	// Axis names the swept parameter: "alpha", "lambda" or "downtime"
+	// (the Fig. 4/5–6/7 axes).
+	Axis string `json:"axis"`
+	// Values are the axis coordinates, in sweep order. Adjacent values
+	// warm-start each other, so order affects performance — and, at the
+	// last-digit level, which refinement path each warm cell takes:
+	// warm rows are reproducible only within the documented tolerance
+	// of the per-cell optimum, not bitwise across request histories.
+	// Use Cold for bitwise reproducibility.
+	Values []float64 `json:"values"`
+	// Options tunes the search box, as for /v1/optimize.
+	Options OptimizeOptions `json:"options,omitempty"`
+	// Cold disables warm-starting: every cell pays the full grid scan and
+	// is bit-identical to (and shares cache entries with) /v1/optimize.
+	Cold bool `json:"cold,omitempty"`
+}
+
+// withAxis returns the spec with the axis parameter replaced by v.
+func (s ModelSpec) withAxis(axis string, v float64) (ModelSpec, error) {
+	switch axis {
+	case "alpha":
+		s.Alpha = &v
+	case "lambda":
+		if !(v > 0) {
+			return s, fmt.Errorf("lambda axis value %g must be positive", v)
+		}
+		s.Lambda = v
+	case "downtime":
+		s.Downtime = &v
+	default:
+		return s, fmt.Errorf("unknown sweep axis %q (want alpha, lambda or downtime)", axis)
+	}
+	return s, nil
+}
+
+// SweepRow is one NDJSON line of a sweep response.
+type SweepRow struct {
+	X        float64 `json:"x"`
+	T        float64 `json:"t"`
+	P        float64 `json:"p"`
+	Overhead float64 `json:"overhead"`
+	Method   string  `json:"method"`
+	Class    string  `json:"class,omitempty"`
+	AtPBound bool    `json:"at_p_bound,omitempty"`
+	Evals    int     `json:"evals"`
+	// Warm reports that the cell was solved in the warm bracket of its
+	// neighbour; Cached that it was served from the per-cell cache.
+	Warm   bool `json:"warm"`
+	Cached bool `json:"cached"`
+}
+
 // SimulateRequest runs a Monte-Carlo campaign; zero-valued fields take
 // the same defaults as amdahl-sim's flags (500 runs × 500 patterns,
 // T/P defaulting as in EvaluateRequest).
@@ -220,6 +279,7 @@ func NewServer(e *Engine) *Server {
 	s.mux.HandleFunc("POST /v1/evaluate", s.handleEvaluate)
 	s.mux.HandleFunc("POST /v1/optimize", s.handleOptimize)
 	s.mux.HandleFunc("POST /v1/simulate", s.handleSimulate)
+	s.mux.HandleFunc("POST /v1/sweep", s.handleSweep)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	return s
@@ -420,6 +480,78 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		Patterns:         res.Config.Patterns,
 		Cached:           cached,
 	})
+}
+
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	var req SweepRequest
+	if err := decode(w, r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if len(req.Values) == 0 {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("sweep needs at least one axis value"))
+		return
+	}
+	if len(req.Values) > maxRequestSweepCells {
+		writeErr(w, http.StatusUnprocessableEntity, fmt.Errorf(
+			"sweep of %d cells exceeds the per-request limit of %d", len(req.Values), maxRequestSweepCells))
+		return
+	}
+	models := make([]core.Model, len(req.Values))
+	for i, x := range req.Values {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("axis value %d is not finite", i))
+			return
+		}
+		spec, err := req.Model.withAxis(req.Axis, x)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		m, _, err := spec.Build()
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("%s=%g: %w", req.Axis, x, err))
+			return
+		}
+		models[i] = m
+	}
+	cells, _, err := s.engine.Sweep(r.Context(), models, req.Options.pattern(), req.Cold)
+	if err != nil {
+		writeErr(w, statusFor(r.Context(), err), err)
+		return
+	}
+	// The whole axis solved: stream one NDJSON row per cell. Rows are
+	// marshalled individually so one unrepresentable value (a non-finite
+	// overhead) degrades that row to an error line instead of truncating
+	// the stream silently.
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	for i, c := range cells {
+		row := SweepRow{
+			X:        req.Values[i],
+			T:        c.Result.T,
+			P:        c.Result.P,
+			Overhead: c.Result.Overhead,
+			Method:   c.Result.Method,
+			Class:    c.Result.Class.String(),
+			AtPBound: c.Result.AtPBound,
+			Evals:    c.Result.Evals,
+			Warm:     c.Result.Warm,
+			Cached:   c.Cached,
+		}
+		buf, err := json.Marshal(row)
+		if err != nil {
+			buf, _ = json.Marshal(apiError{Error: fmt.Sprintf("cell %d not representable in JSON: %v", i, err)})
+		}
+		buf = append(buf, '\n')
+		if _, err := w.Write(buf); err != nil {
+			return // client hung up mid-stream
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {

@@ -1,0 +1,202 @@
+package service
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"math"
+	"net/http"
+	"testing"
+
+	"amdahlyd/internal/core"
+	"amdahlyd/internal/costmodel"
+	"amdahlyd/internal/experiments"
+	"amdahlyd/internal/optimize"
+	"amdahlyd/internal/platform"
+	"amdahlyd/internal/xmath"
+)
+
+func sweepModels(t *testing.T, lambdas []float64) []core.Model {
+	t.Helper()
+	models := make([]core.Model, len(lambdas))
+	for i, l := range lambdas {
+		m, err := experiments.BuildModel(platform.Hera().WithLambda(l), costmodel.Scenario3, 0.1, 3600)
+		if err != nil {
+			t.Fatal(err)
+		}
+		models[i] = m
+	}
+	return models
+}
+
+var sweepLambdas = []float64{1e-10, 2e-10, 4e-10, 8e-10, 1.6e-9}
+
+// TestEngineSweepColdBitIdenticalToOptimize pins the cold-mode contract:
+// every cell equals a per-cell Optimize result bitwise, and the two
+// paths share cache entries in both directions.
+func TestEngineSweepColdBitIdenticalToOptimize(t *testing.T) {
+	e := NewEngine(Options{})
+	ctx := context.Background()
+	models := sweepModels(t, sweepLambdas)
+	cells, _, err := e.Sweep(ctx, models, optimize.PatternOptions{}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, m := range models {
+		res, cached, err := e.Optimize(ctx, m, optimize.PatternOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !cached {
+			t.Errorf("cell %d: cold sweep did not warm the optimize cache", i)
+		}
+		if res != cells[i].Result {
+			t.Errorf("cell %d: sweep %+v != optimize %+v", i, cells[i].Result, res)
+		}
+	}
+}
+
+// TestEngineSweepWarmWithinTolAndIsolated checks the warm mode: cells
+// agree with per-cell OptimalPattern within the refinement tolerance,
+// the per-cell cache serves a repeat sweep, and the /v1/optimize cache
+// is NOT polluted (bit-exactness of optimize survives a warm sweep).
+func TestEngineSweepWarmWithinTolAndIsolated(t *testing.T) {
+	e := NewEngine(Options{})
+	ctx := context.Background()
+	models := sweepModels(t, sweepLambdas)
+	cells, _, err := e.Sweep(ctx, models, optimize.PatternOptions{}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, m := range models {
+		cold, err := optimize.OptimalPattern(m, optimize.PatternOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := xmath.RelDiff(cells[i].Result.Overhead, cold.Overhead); d > 1e-8 {
+			t.Errorf("cell %d: overhead off by %.3g", i, d)
+		}
+		if d := xmath.RelDiff(cells[i].Result.P, cold.P); d > 1e-4 {
+			t.Errorf("cell %d: P* off by %.3g", i, d)
+		}
+		res, cached, err := e.Optimize(ctx, m, optimize.PatternOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cached && i == 0 {
+			// The first optimize after a warm sweep must be a genuine
+			// solve, not a warm-sweep cache hit.
+			t.Error("warm sweep polluted the optimize cache")
+		}
+		if res.T != cold.T || res.P != cold.P {
+			t.Errorf("cell %d: optimize after warm sweep is not bit-identical to OptimalPattern", i)
+		}
+	}
+	again, _, err := e.Sweep(ctx, models, optimize.PatternOptions{}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range again {
+		if !again[i].Cached {
+			t.Errorf("cell %d: repeat sweep missed the per-cell cache", i)
+		}
+		if again[i].Result != cells[i].Result {
+			t.Errorf("cell %d: repeat sweep returned different bits", i)
+		}
+	}
+	if st := e.Stats(); st.SweepCalls != 2 {
+		t.Errorf("SweepCalls = %d, want 2", st.SweepCalls)
+	}
+}
+
+// TestSweepHTTPStreamsNDJSON drives the endpoint end to end: one NDJSON
+// row per axis value, in order, with warm flags and cache provenance.
+func TestSweepHTTPStreamsNDJSON(t *testing.T) {
+	_, ts := newTestServer(t)
+	body := map[string]any{
+		"model":  map[string]any{"platform": "hera", "scenario": 3},
+		"axis":   "lambda",
+		"values": sweepLambdas,
+	}
+	fetch := func() []SweepRow {
+		buf, _ := json.Marshal(body)
+		resp, err := http.Post(ts.URL+"/v1/sweep", "application/json", bytes.NewReader(buf))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status %d", resp.StatusCode)
+		}
+		if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+			t.Fatalf("content type %q", ct)
+		}
+		var rows []SweepRow
+		sc := bufio.NewScanner(resp.Body)
+		for sc.Scan() {
+			var row SweepRow
+			if err := json.Unmarshal(sc.Bytes(), &row); err != nil {
+				t.Fatalf("bad row %q: %v", sc.Text(), err)
+			}
+			rows = append(rows, row)
+		}
+		if err := sc.Err(); err != nil {
+			t.Fatal(err)
+		}
+		return rows
+	}
+	rows := fetch()
+	if len(rows) != len(sweepLambdas) {
+		t.Fatalf("got %d rows, want %d", len(rows), len(sweepLambdas))
+	}
+	warm := 0
+	for i, row := range rows {
+		if row.X != sweepLambdas[i] {
+			t.Errorf("row %d: x = %g, want %g", i, row.X, sweepLambdas[i])
+		}
+		if !(row.Overhead > 0) || math.IsInf(row.Overhead, 0) {
+			t.Errorf("row %d: overhead %g", i, row.Overhead)
+		}
+		if row.Cached {
+			t.Errorf("row %d: first sweep reported cached", i)
+		}
+		if row.Warm {
+			warm++
+		}
+	}
+	if warm == 0 {
+		t.Error("no cell warm-started on a smooth axis")
+	}
+	for i, row := range fetch() {
+		if !row.Cached {
+			t.Errorf("row %d: repeat sweep not served from cache", i)
+		}
+	}
+}
+
+// TestSweepHTTPValidation covers the request guards.
+func TestSweepHTTPValidation(t *testing.T) {
+	_, ts := newTestServer(t)
+	cases := []struct {
+		name string
+		body map[string]any
+		want int
+	}{
+		{"bad axis", map[string]any{"model": map[string]any{}, "axis": "procs", "values": []float64{1}}, http.StatusBadRequest},
+		{"no values", map[string]any{"model": map[string]any{}, "axis": "alpha"}, http.StatusBadRequest},
+		{"negative lambda", map[string]any{"model": map[string]any{}, "axis": "lambda", "values": []float64{-1}}, http.StatusBadRequest},
+		{"too many cells", map[string]any{"model": map[string]any{}, "axis": "alpha", "values": make([]float64, maxRequestSweepCells+1)}, http.StatusUnprocessableEntity},
+	}
+	for _, tc := range cases {
+		buf, _ := json.Marshal(tc.body)
+		resp, err := http.Post(ts.URL+"/v1/sweep", "application/json", bytes.NewReader(buf))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != tc.want {
+			t.Errorf("%s: status %d, want %d", tc.name, resp.StatusCode, tc.want)
+		}
+	}
+}

@@ -22,6 +22,64 @@ type Engine struct {
 	now float64
 	pq  eventHeap
 	seq uint64
+
+	// blocks is the event arena: Scheduled values are carved out of
+	// fixed-size chunks instead of being heap-allocated one by one, and
+	// Reset reclaims every chunk wholesale. This is what makes a reused
+	// engine (sim.Workspace) allocation-free: a machine-level run
+	// schedules hundreds of events, and with the arena none of them
+	// escapes to the garbage collector after the first run.
+	blocks [][]Scheduled
+	block  int // chunk currently being filled
+	used   int // entries used in blocks[block]
+}
+
+// arenaChunk sizes the event arena's chunks: one chunk covers a typical
+// machine-level run (procs + patterns×segments), so steady-state runs
+// touch a single preallocated block.
+const arenaChunk = 512
+
+// maxArenaBlocks bounds what the arena retains (and what a pooled
+// workspace pins) to ~64×512 events. The arena only reclaims at Reset,
+// so an unbounded arena would turn one very long run — a
+// billion-pattern campaign is within the service's request budget —
+// from the historical O(outstanding events) memory into O(total events
+// scheduled). Beyond the cap, events fall back to individual heap
+// allocations and the garbage collector reclaims them after they fire,
+// exactly as before the arena existed.
+const maxArenaBlocks = 64
+
+// alloc carves the next event out of the arena, or heap-allocates once
+// the arena is at capacity.
+func (e *Engine) alloc() *Scheduled {
+	if e.block == len(e.blocks) {
+		if e.block == maxArenaBlocks {
+			return &Scheduled{}
+		}
+		e.blocks = append(e.blocks, make([]Scheduled, arenaChunk))
+	}
+	ev := &e.blocks[e.block][e.used]
+	e.used++
+	if e.used == arenaChunk {
+		e.block++
+		e.used = 0
+	}
+	return ev
+}
+
+// Reset returns the engine to time zero with an empty queue, retaining
+// the heap's and the arena's capacity for the next run. It invalidates
+// every *Scheduled handle obtained before the call: the arena recycles
+// their memory, so a stale Cancel could silently hit an unrelated event.
+// Callers must drop all handles when they reset (sim.Workspace does).
+func (e *Engine) Reset() {
+	for i := range e.pq {
+		e.pq[i] = nil
+	}
+	e.pq = e.pq[:0]
+	e.now = 0
+	e.seq = 0
+	e.block, e.used = 0, 0
 }
 
 // Scheduled is a handle to a pending event; it can be cancelled.
@@ -58,7 +116,8 @@ func (e *Engine) Schedule(delay float64, action func()) *Scheduled {
 		delay = 0
 	}
 	e.seq++
-	ev := &Scheduled{time: e.now + delay, seq: e.seq, action: action}
+	ev := e.alloc()
+	*ev = Scheduled{time: e.now + delay, seq: e.seq, action: action}
 	heap.Push(&e.pq, ev)
 	return ev
 }

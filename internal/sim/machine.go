@@ -3,6 +3,7 @@ package sim
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"amdahlyd/internal/core"
 	"amdahlyd/internal/failures"
@@ -129,180 +130,258 @@ const (
 	phaseRecovering
 )
 
+// Workspace holds the reusable scratch state of machine-level
+// simulation: the event engine (with its arena and heap capacity), each
+// processor's pending-error handle, and the per-processor event handlers
+// themselves. A fresh run on a reused workspace allocates nothing in
+// steady state — SimulateRun draws workspaces from an internal pool, and
+// callers that manage their own reuse (benchmarks, long campaigns) can
+// pass one explicitly to SimulateRunWorkspace.
+//
+// A Workspace serves one run at a time; concurrent runs need one
+// workspace each (the pool hands every goroutine its own).
+type Workspace struct {
+	eng Engine
+
+	mc       *Machine
+	r        *rng.Rand
+	patterns int
+
+	st    PatternStats
+	phase machPhase
+	// silentPending records an undetected corruption of the current
+	// pattern's computation.
+	silentPending bool
+	// segmentDone is the pending end-of-segment event.
+	segmentDone *Scheduled
+	// errEvents holds each processor's pending error event.
+	errEvents []*Scheduled
+	done      bool
+
+	// procActions are the per-processor error handlers, allocated once
+	// per workspace (not once per event, as the closure-based simulator
+	// did — that was most of its 474 allocs per run).
+	procActions []func()
+	// segmentFn is the bound end-of-segment handler, allocated once.
+	segmentFn func()
+}
+
+// NewWorkspace returns an empty workspace; it grows to fit the first
+// run and is reused allocation-free afterwards.
+func NewWorkspace() *Workspace { return &Workspace{} }
+
+// reset binds the workspace to one run and clears all run state.
+func (w *Workspace) reset(mc *Machine, patterns int, r *rng.Rand) {
+	w.eng.Reset()
+	w.mc, w.r, w.patterns = mc, r, patterns
+	w.st = PatternStats{}
+	w.phase = phaseComputing
+	w.silentPending = false
+	w.segmentDone = nil
+	w.done = false
+	if len(w.procActions) < mc.procs {
+		w.procActions = make([]func(), mc.procs)
+		for i := range w.procActions {
+			w.procActions[i] = func() { w.procError(i) }
+		}
+		w.errEvents = make([]*Scheduled, mc.procs)
+	} else {
+		w.errEvents = w.errEvents[:mc.procs]
+		for i := range w.errEvents {
+			w.errEvents[i] = nil
+		}
+	}
+	if w.segmentFn == nil {
+		w.segmentFn = w.onSegmentDone
+	}
+}
+
+// drawInterArrival samples the next per-processor gap: exponential on
+// the fast path (one log, one multiply — the historical simulator's
+// exact draw), the renewal law otherwise.
+func (w *Workspace) drawInterArrival() float64 {
+	if w.mc.dist != nil {
+		return w.mc.dist.Sample(w.r)
+	}
+	return w.r.ExpInv(w.mc.invLambdaInd)
+}
+
+// armProc schedules the processor's next error at a known delay; the
+// handler draws the following gap itself, so arrivals form a renewal
+// process per processor regardless of job state.
+func (w *Workspace) armProc(proc int, delay float64) {
+	w.errEvents[proc] = w.eng.Schedule(delay, w.procActions[proc])
+}
+
+// procError is the error-arrival handler of one processor.
+func (w *Workspace) procError(proc int) {
+	if w.done {
+		return
+	}
+	isFailStop := w.r.Float64() < w.mc.failFrac
+	// Re-arm this processor's error clock first: the next renewal
+	// interval starts at this arrival.
+	w.armProc(proc, w.drawInterArrival())
+	if isFailStop {
+		w.failStop()
+	} else if w.phase == phaseComputing {
+		// Silent corruption of computation; detected later by the
+		// verification.
+		w.silentPending = true
+	}
+	// Silent errors during V/C/R are discarded: those phases are
+	// protected (Section II, resilience model).
+}
+
+func (w *Workspace) scheduleProcError(proc int, extraDelay float64) {
+	if w.mc.lambdaInd == 0 && w.mc.dist == nil {
+		return
+	}
+	w.armProc(proc, extraDelay+w.drawInterArrival())
+}
+
+// restartClocksAfter pauses every per-processor error clock across a
+// downtime ("no error strikes during downtime"). For the memoryless
+// exponential, discarding the pending arrival and drawing a fresh one
+// after the pause is statistically identical to pausing — and is what
+// the historical simulator did, so the fast path keeps that exact draw
+// sequence. A renewal process remembers its age, so the generic path
+// must shift the pending arrival past the pause instead of redrawing it.
+func (w *Workspace) restartClocksAfter(pause float64) {
+	for i, ev := range w.errEvents {
+		if w.mc.dist == nil {
+			if ev != nil {
+				ev.Cancel()
+			}
+			w.scheduleProcError(i, pause)
+			continue
+		}
+		if ev == nil {
+			continue
+		}
+		remaining := ev.Time() - w.eng.Now()
+		ev.Cancel()
+		w.armProc(i, pause+remaining)
+	}
+}
+
+func (w *Workspace) startSegment() {
+	var length float64
+	switch w.phase {
+	case phaseComputing:
+		length = w.mc.t
+	case phaseVerifying:
+		length = w.mc.verify
+	case phaseCheckpointing:
+		length = w.mc.checkpoint
+	case phaseRecovering:
+		length = w.mc.recovery
+	}
+	w.segmentDone = w.eng.Schedule(length, w.segmentFn)
+}
+
+func (w *Workspace) onSegmentDone() {
+	switch w.phase {
+	case phaseComputing:
+		w.phase = phaseVerifying
+		w.startSegment()
+	case phaseVerifying:
+		if w.silentPending {
+			w.detectAndRecover()
+			return
+		}
+		w.phase = phaseCheckpointing
+		w.startSegment()
+	case phaseCheckpointing:
+		w.st.Patterns++
+		if w.st.Patterns >= int64(w.patterns) {
+			w.done = true
+			for _, ev := range w.errEvents {
+				if ev != nil {
+					ev.Cancel()
+				}
+			}
+			return
+		}
+		w.startPattern()
+	case phaseRecovering:
+		w.startPattern()
+	}
+}
+
+func (w *Workspace) failStop() {
+	w.st.FailStops++
+	if w.segmentDone != nil {
+		w.segmentDone.Cancel()
+	}
+	w.silentPending = false
+	// Downtime: errors cannot strike; re-arm clocks past it.
+	w.restartClocksAfter(w.mc.downtime)
+	w.phase = phaseRecovering
+	w.st.Recoveries++
+	w.segmentDone = w.eng.Schedule(w.mc.downtime+w.mc.recovery, w.segmentFn)
+}
+
+func (w *Workspace) detectAndRecover() {
+	w.st.SilentDetections++
+	w.silentPending = false
+	w.phase = phaseRecovering
+	w.st.Recoveries++
+	w.startSegment()
+}
+
+func (w *Workspace) startPattern() {
+	w.silentPending = false
+	w.phase = phaseComputing
+	w.startSegment()
+}
+
+// release drops the run bindings so a pooled workspace does not pin the
+// machine or the rng stream alive between runs.
+func (w *Workspace) release() {
+	w.mc, w.r = nil, nil
+}
+
+// workspacePool recycles workspaces across SimulateRun calls: a
+// Monte-Carlo campaign reuses one workspace per worker, so every run
+// after the first is allocation-free.
+var workspacePool = sync.Pool{New: func() any { return NewWorkspace() }}
+
 // SimulateRun plays the requested number of patterns on the event engine
-// and returns the same statistics as the pattern-level simulator.
+// and returns the same statistics as the pattern-level simulator. It
+// draws a reusable workspace from an internal pool; the draw sequence
+// and results are bit-identical to the historical closure-based
+// simulator (pinned by the machine golden tests).
 func (mc *Machine) SimulateRun(patterns int, r *rng.Rand) (PatternStats, error) {
+	ws := workspacePool.Get().(*Workspace)
+	st, err := mc.SimulateRunWorkspace(patterns, r, ws)
+	ws.release()
+	workspacePool.Put(ws)
+	return st, err
+}
+
+// SimulateRunWorkspace is SimulateRun on an explicit workspace, for
+// callers that manage reuse themselves. A nil workspace allocates a
+// fresh one.
+func (mc *Machine) SimulateRunWorkspace(patterns int, r *rng.Rand, ws *Workspace) (PatternStats, error) {
 	if patterns < 1 {
 		return PatternStats{}, errors.New("sim: need at least one pattern")
 	}
 	if r == nil {
 		return PatternStats{}, errors.New("sim: nil rng")
 	}
-
-	var (
-		eng   Engine
-		st    PatternStats
-		phase machPhase
-		// silentPending records an undetected corruption of the current
-		// pattern's computation.
-		silentPending bool
-		// segmentDone is the pending end-of-segment event.
-		segmentDone *Scheduled
-		// errEvents holds each processor's pending error event.
-		errEvents = make([]*Scheduled, mc.procs)
-		done      bool
-	)
-
-	// Forward declarations for the mutually recursive handlers.
-	var startPattern, startSegment func()
-	var onSegmentDone func()
-	var failStop, detectAndRecover func()
-	var armProc func(proc int, delay float64)
-
-	// drawInterArrival samples the next per-processor gap: exponential on
-	// the fast path (one log, one multiply — the historical simulator's
-	// exact draw), the renewal law otherwise.
-	drawInterArrival := func() float64 {
-		if mc.dist != nil {
-			return mc.dist.Sample(r)
-		}
-		return r.ExpInv(mc.invLambdaInd)
+	if ws == nil {
+		ws = NewWorkspace()
 	}
-
-	// armProc schedules the processor's next error at a known delay; the
-	// handler draws the following gap itself, so arrivals form a renewal
-	// process per processor regardless of job state.
-	armProc = func(proc int, delay float64) {
-		errEvents[proc] = eng.Schedule(delay, func() {
-			if done {
-				return
-			}
-			isFailStop := r.Float64() < mc.failFrac
-			// Re-arm this processor's error clock first: the next renewal
-			// interval starts at this arrival.
-			armProc(proc, drawInterArrival())
-			if isFailStop {
-				failStop()
-			} else if phase == phaseComputing {
-				// Silent corruption of computation; detected later by
-				// the verification.
-				silentPending = true
-			}
-			// Silent errors during V/C/R are discarded: those phases
-			// are protected (Section II, resilience model).
-		})
-	}
-
-	scheduleProcError := func(proc int, extraDelay float64) {
-		if mc.lambdaInd == 0 && mc.dist == nil {
-			return
-		}
-		armProc(proc, extraDelay+drawInterArrival())
-	}
-
-	// Downtime pauses every per-processor error clock ("no error strikes
-	// during downtime"). For the memoryless exponential, discarding the
-	// pending arrival and drawing a fresh one after the pause is
-	// statistically identical to pausing — and is what the historical
-	// simulator did, so the fast path keeps that exact draw sequence. A
-	// renewal process remembers its age, so the generic path must shift
-	// the pending arrival past the pause instead of redrawing it.
-	restartClocksAfter := func(pause float64) {
-		for i, ev := range errEvents {
-			if mc.dist == nil {
-				if ev != nil {
-					ev.Cancel()
-				}
-				scheduleProcError(i, pause)
-				continue
-			}
-			if ev == nil {
-				continue
-			}
-			remaining := ev.Time() - eng.Now()
-			ev.Cancel()
-			armProc(i, pause+remaining)
-		}
-	}
-
-	startSegment = func() {
-		var length float64
-		switch phase {
-		case phaseComputing:
-			length = mc.t
-		case phaseVerifying:
-			length = mc.verify
-		case phaseCheckpointing:
-			length = mc.checkpoint
-		case phaseRecovering:
-			length = mc.recovery
-		}
-		segmentDone = eng.Schedule(length, onSegmentDone)
-	}
-
-	onSegmentDone = func() {
-		switch phase {
-		case phaseComputing:
-			phase = phaseVerifying
-			startSegment()
-		case phaseVerifying:
-			if silentPending {
-				detectAndRecover()
-				return
-			}
-			phase = phaseCheckpointing
-			startSegment()
-		case phaseCheckpointing:
-			st.Patterns++
-			if st.Patterns >= int64(patterns) {
-				done = true
-				for _, ev := range errEvents {
-					if ev != nil {
-						ev.Cancel()
-					}
-				}
-				return
-			}
-			startPattern()
-		case phaseRecovering:
-			startPattern()
-		}
-	}
-
-	failStop = func() {
-		st.FailStops++
-		if segmentDone != nil {
-			segmentDone.Cancel()
-		}
-		silentPending = false
-		// Downtime: errors cannot strike; re-arm clocks past it.
-		restartClocksAfter(mc.downtime)
-		phase = phaseRecovering
-		st.Recoveries++
-		segmentDone = eng.Schedule(mc.downtime+mc.recovery, onSegmentDone)
-	}
-
-	detectAndRecover = func() {
-		st.SilentDetections++
-		silentPending = false
-		phase = phaseRecovering
-		st.Recoveries++
-		startSegment()
-	}
-
-	startPattern = func() {
-		silentPending = false
-		phase = phaseComputing
-		startSegment()
-	}
-
+	ws.reset(mc, patterns, r)
 	for i := 0; i < mc.procs; i++ {
-		scheduleProcError(i, 0)
+		ws.scheduleProcError(i, 0)
 	}
-	startPattern()
-	eng.Run()
+	ws.startPattern()
+	ws.eng.Run()
 
-	st.Elapsed = eng.Now()
+	st := ws.st
+	st.Elapsed = ws.eng.Now()
 	if st.Patterns != int64(patterns) {
 		return st, fmt.Errorf("sim: machine run ended with %d/%d patterns", st.Patterns, patterns)
 	}

@@ -1,0 +1,160 @@
+package sim
+
+import (
+	"testing"
+
+	"amdahlyd/internal/core"
+	"amdahlyd/internal/costmodel"
+	"amdahlyd/internal/rng"
+	"amdahlyd/internal/speedup"
+)
+
+func workspaceTestModel(t *testing.T) core.Model {
+	t.Helper()
+	res, err := costmodel.Scenario1.Calibrate(219, 300, 15.4, 3600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := core.Model{
+		LambdaInd:    1.69e-7, // 10× Hera so a short run still sees errors
+		FailStopFrac: 0.2188,
+		SilentFrac:   0.7812,
+		Res:          res,
+		Profile:      speedup.Amdahl{Alpha: 0.1},
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// TestEngineResetReuse pins the arena contract: a reset engine replays a
+// schedule from time zero with the same ordering, reusing its capacity.
+func TestEngineResetReuse(t *testing.T) {
+	var e Engine
+	run := func() []int {
+		var got []int
+		e.Schedule(2, func() { got = append(got, 2) })
+		e.Schedule(1, func() { got = append(got, 1) })
+		ev := e.Schedule(1.5, func() { got = append(got, 15) })
+		ev.Cancel()
+		e.Run()
+		return got
+	}
+	first := run()
+	if e.Now() != 2 {
+		t.Fatalf("clock = %g, want 2", e.Now())
+	}
+	e.Reset()
+	if e.Now() != 0 || e.Pending() != 0 {
+		t.Fatalf("reset left now=%g pending=%d", e.Now(), e.Pending())
+	}
+	second := run()
+	if len(first) != 2 || len(second) != 2 || first[0] != second[0] || first[1] != second[1] {
+		t.Fatalf("replay differs: %v vs %v", first, second)
+	}
+}
+
+// TestEngineArenaSurvivesChunkBoundary schedules more events than one
+// arena chunk holds, across a Reset, to exercise chunk growth and reuse.
+func TestEngineArenaSurvivesChunkBoundary(t *testing.T) {
+	var e Engine
+	for round := 0; round < 2; round++ {
+		fired := 0
+		for i := 0; i < 3*arenaChunk/2; i++ {
+			e.Schedule(float64(i), func() { fired++ })
+		}
+		e.Run()
+		if want := 3 * arenaChunk / 2; fired != want {
+			t.Fatalf("round %d: fired %d, want %d", round, fired, want)
+		}
+		e.Reset()
+	}
+}
+
+// TestEngineArenaCapFallsBackToHeap schedules past the arena retention
+// cap in a single run: events beyond maxArenaBlocks×arenaChunk must
+// heap-allocate (bounding a long run's memory at O(outstanding), as
+// before the arena) while ordering and cancellation keep working.
+func TestEngineArenaCapFallsBackToHeap(t *testing.T) {
+	var e Engine
+	total := maxArenaBlocks*arenaChunk + 2*arenaChunk
+	fired := 0
+	for i := 0; i < total; i++ {
+		e.Schedule(float64(i), func() { fired++ })
+	}
+	if len(e.blocks) != maxArenaBlocks {
+		t.Fatalf("arena grew to %d blocks, cap is %d", len(e.blocks), maxArenaBlocks)
+	}
+	// A post-cap (heap-allocated) handle must still cancel cleanly.
+	ev := e.Schedule(float64(total), func() { fired++ })
+	ev.Cancel()
+	e.Run()
+	if fired != total {
+		t.Fatalf("fired %d, want %d", fired, total)
+	}
+	e.Reset()
+	e.Schedule(1, func() { fired = -1 })
+	e.Run()
+	if fired != -1 {
+		t.Fatal("engine unusable after capped run + Reset")
+	}
+}
+
+// TestWorkspaceReuseBitIdentical pins that an explicitly reused
+// workspace replays bit-identically to fresh workspaces and to the
+// pooled SimulateRun path, across machines of different sizes (the
+// per-processor handler slices must re-bind cleanly).
+func TestWorkspaceReuseBitIdentical(t *testing.T) {
+	m := workspaceTestModel(t)
+	mcBig, err := NewMachine(m, 6240, 219)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mcSmall, err := NewMachine(m, 6240, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := NewWorkspace()
+	for i, mc := range []*Machine{mcBig, mcSmall, mcBig} {
+		seed := uint64(100 + i)
+		reused, err := mc.SimulateRunWorkspace(5, rng.New(seed), ws)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fresh, err := mc.SimulateRunWorkspace(5, rng.New(seed), NewWorkspace())
+		if err != nil {
+			t.Fatal(err)
+		}
+		pooled, err := mc.SimulateRun(5, rng.New(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if reused != fresh || reused != pooled {
+			t.Fatalf("run %d: reused %+v, fresh %+v, pooled %+v", i, reused, fresh, pooled)
+		}
+		if reused.Elapsed <= 0 || reused.Patterns != 5 {
+			t.Fatalf("run %d: implausible stats %+v", i, reused)
+		}
+	}
+}
+
+// TestWorkspaceNilAllocatesFresh covers the nil-workspace convenience.
+func TestWorkspaceNilAllocatesFresh(t *testing.T) {
+	m := workspaceTestModel(t)
+	mc, err := NewMachine(m, 6240, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := mc.SimulateRunWorkspace(3, rng.New(9), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := mc.SimulateRun(3, rng.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("nil-workspace run %+v != pooled run %+v", a, b)
+	}
+}

@@ -6,12 +6,91 @@
 # Usage: scripts/bench.sh [N] [extra go test args...]
 #   N defaults to one past the highest existing BENCH_<N>.json.
 #
+#        scripts/bench.sh -compare BENCH_<N>.json [extra go test args...]
+#   Regression gate: re-runs the frozen-kernel benchmarks (count=5, min
+#   ns/op — the min absorbs frequency-scaling dips on shared hosts) and
+#   exits 1 if any of them regressed by more than 15% against the named
+#   baseline. Nothing is written.
+#
 # The JSON records the environment (go version, CPU, GOMAXPROCS), the raw
 # `go test -bench` output, and a parsed {name: {ns_per_op, bytes_per_op,
 # allocs_per_op}} map taking the minimum ns/op over -count 3 runs.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
+
+# The frozen-kernel hot paths gated by -compare: the per-call costs every
+# optimizer and simulator loop is built on. Macro benchmarks (figures,
+# campaigns) are recorded but not gated — they move with design changes;
+# these must only ever go down.
+frozen_benchmarks="BenchmarkExactPatternTime BenchmarkFreeze BenchmarkFrozenOverhead BenchmarkFrozenOverheadLog BenchmarkFirstOrderSolve"
+regression_pct=15
+
+# parse_min_ns <raw-file>: emit "name ns" lines, min ns/op per benchmark.
+parse_min_ns() {
+    awk '
+    /^Benchmark/ {
+        name = $1
+        sub(/-[0-9]+$/, "", name)
+        ns = ""
+        for (i = 2; i <= NF; i++) if ($(i) == "ns/op") ns = $(i - 1)
+        if (ns == "") next
+        if (!(name in best) || ns + 0 < best[name] + 0) best[name] = ns
+    }
+    END { for (name in best) print name, best[name] }' "$1"
+}
+
+if [ "${1:-}" = "-compare" ]; then
+    baseline="${2:-}"
+    if [ -z "$baseline" ] || [ ! -f "$baseline" ]; then
+        echo "bench.sh -compare: baseline file required (e.g. BENCH_4.json)" >&2
+        exit 2
+    fi
+    shift 2
+    regex="^($(echo "$frozen_benchmarks" | tr ' ' '|'))$"
+    raw="$(mktemp)"
+    trap 'rm -f "$raw"' EXIT
+    echo "running frozen-kernel benchmarks (count=5) for comparison against $baseline…" >&2
+    go test -bench "$regex" -count 5 -run XXX "$@" . | tee "$raw" >&2
+
+    expected=$(echo "$frozen_benchmarks" | wc -w)
+    parse_min_ns "$raw" | {
+        status=0
+        compared=0
+        while read -r name ns; do
+            base_ns="$(awk -v n="\"$name\"" '
+                index($0, n ": {") {
+                    s = $0
+                    sub(/.*"ns_per_op": */, "", s)
+                    sub(/[,}].*/, "", s)
+                    print s
+                }' "$baseline")"
+            if [ -z "$base_ns" ]; then
+                echo "  $name: not in baseline, skipped" >&2
+                continue
+            fi
+            over="$(awk -v new="$ns" -v old="$base_ns" -v pct="$regression_pct" \
+                'BEGIN { print (new > old * (1 + pct / 100)) ? 1 : 0 }')"
+            delta="$(awk -v new="$ns" -v old="$base_ns" \
+                'BEGIN { printf "%+.1f%%", (new / old - 1) * 100 }')"
+            compared=$((compared + 1))
+            if [ "$over" = 1 ]; then
+                echo "  REGRESSION $name: $ns ns/op vs baseline $base_ns ($delta > +${regression_pct}%)" >&2
+                status=1
+            else
+                echo "  ok $name: $ns ns/op vs baseline $base_ns ($delta)" >&2
+            fi
+        done
+        # A gate that compared nothing (renamed benchmark, stale baseline
+        # keys) must fail, not pass vacuously.
+        if [ "$compared" -lt "$expected" ]; then
+            echo "  ERROR: only $compared of $expected frozen-kernel benchmarks were compared" >&2
+            status=1
+        fi
+        exit $status
+    }
+    exit $?
+fi
 
 n="${1:-}"
 if [ -z "$n" ]; then

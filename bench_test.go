@@ -359,6 +359,53 @@ func BenchmarkTwoLevelPattern(b *testing.B) {
 	}
 }
 
+// BenchmarkMultilevelOptimize measures the joint two-level (T, K, P)
+// optimization — the per-cell unit of every multilevel sweep and of
+// /v1/multilevel/optimize. Gated by scripts/bench.sh -compare: the
+// inner (T, K) solve is closed-form, so this cost is dominated by the
+// outer P scan and must only ever go down.
+func BenchmarkMultilevelOptimize(b *testing.B) {
+	m := heraModel(b, costmodel.Scenario3, 0.1)
+	costsFor := multilevel.InMemoryFraction(m, 20.0/300)
+	for i := 0; i < b.N; i++ {
+		if _, err := multilevel.OptimalPattern(m, costsFor, multilevel.PatternOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMultilevelCampaign measures a seeded two-level Monte-Carlo
+// campaign on the shared chunked-dispatch runner at the bench budget
+// (single worker for a stable gate), the unit of work behind every
+// multilevel study cell and /v1/multilevel/simulate request.
+func BenchmarkMultilevelCampaign(b *testing.B) {
+	m := heraModel(b, costmodel.Scenario3, 0.1)
+	lf, ls := m.Rates(512)
+	costs, err := multilevel.SingleLevelCosts(m, 512, 20.0/300)
+	if err != nil {
+		b.Fatal(err)
+	}
+	plan, err := multilevel.FirstOrder(costs, lf, ls, m.Profile.Overhead(512))
+	if err != nil {
+		b.Fatal(err)
+	}
+	s, err := multilevel.NewSimulator(costs, plan.Pattern, lf, ls)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := multilevel.CampaignConfig{
+		Runs: 40, Patterns: 60, Seed: 1, Workers: 1,
+		HOfP: m.Profile.Overhead(512),
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = uint64(i + 1)
+		if _, err := s.SimulateContext(context.Background(), cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // ---------------------------------------------------------------------
 // Ablations called out in DESIGN.md.
 // ---------------------------------------------------------------------

@@ -22,6 +22,14 @@
 //
 //	amdahl-exp robustness -dist weibull -shape 0.7
 //	amdahl-exp robustness -dist weibull -quick   # sweep k in [0.5, 1]
+//
+// The multilevel subcommand runs the two-level resilience study: the
+// joint (T, K, P) optimum per scenario × in-memory cost fraction, priced
+// by Monte-Carlo against the single-level optimum (DESIGN.md,
+// "Multilevel end-to-end"):
+//
+//	amdahl-exp multilevel -quick
+//	amdahl-exp multilevel -scenario 3 -frac 0.0667,0.2
 package main
 
 import (
@@ -32,6 +40,7 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"strconv"
 	"strings"
 
 	"amdahlyd/internal/costmodel"
@@ -49,9 +58,12 @@ func main() {
 
 	args := os.Args[1:]
 	var err error
-	if len(args) > 0 && args[0] == "robustness" {
+	switch {
+	case len(args) > 0 && args[0] == "robustness":
 		err = runRobustness(ctx, args[1:])
-	} else {
+	case len(args) > 0 && args[0] == "multilevel":
+		err = runMultilevel(ctx, args[1:])
+	default:
 		err = run(ctx, args)
 	}
 	if err != nil {
@@ -140,6 +152,64 @@ func runRobustness(ctx context.Context, args []string) error {
 	}
 	if *outDir != "" {
 		return writeCSV(*outDir, "robustness", res)
+	}
+	return nil
+}
+
+// runMultilevel drives the two-level resilience study (extension beyond
+// the paper, Section V future work; see DESIGN.md, "Multilevel
+// end-to-end"): the joint (T, K, P) optimum per scenario × in-memory
+// cost fraction, priced by Monte-Carlo against the single-level optimum.
+func runMultilevel(ctx context.Context, args []string) error {
+	fs := flag.NewFlagSet("amdahl-exp multilevel", flag.ContinueOnError)
+	platName := fs.String("platform", "hera", "platform supplying rates and costs")
+	fracs := fs.String("frac", "", "comma-separated in-memory cost fractions C1/C2 (default 1/60,1/15,0.2,0.5,1)")
+	scenario := fs.Int("scenario", 0, "restrict to one Table III scenario 1-6 (0 = scenarios 1,3,5)")
+	quick := fs.Bool("quick", false, "reduced Monte-Carlo budget (~100× faster)")
+	outDir := fs.String("out", "", "directory for CSV output (optional)")
+	seed := fs.Uint64("seed", 1, "random seed")
+	runs := fs.Int("runs", 0, "override Monte-Carlo runs per point")
+	patterns := fs.Int("patterns", 0, "override patterns per run")
+	warm := fs.Bool("warm", true, "warm-start the per-scenario (T, K, P) chains; -warm=false restores per-cell full-box scans")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("unexpected argument %q", fs.Arg(0))
+	}
+	pl, err := platform.Lookup(*platName)
+	if err != nil {
+		return err
+	}
+	cfg := buildConfig(*quick, *seed, *runs, *patterns)
+	cfg.ColdSolve = !*warm
+	var fracList []float64
+	if *fracs != "" {
+		for _, s := range strings.Split(*fracs, ",") {
+			f, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+			if err != nil {
+				return fmt.Errorf("bad fraction %q: %w", s, err)
+			}
+			fracList = append(fracList, f)
+		}
+	}
+	var scenarios []costmodel.Scenario
+	if *scenario != 0 {
+		sc := costmodel.Scenario(*scenario)
+		if !sc.Valid() {
+			return fmt.Errorf("scenario %d outside 1-6", *scenario)
+		}
+		scenarios = []costmodel.Scenario{sc}
+	}
+	res, err := experiments.MultilevelStudyContext(ctx, pl, fracList, scenarios, cfg)
+	if err != nil {
+		return err
+	}
+	if err := res.Render(os.Stdout); err != nil {
+		return err
+	}
+	if *outDir != "" {
+		return writeCSV(*outDir, "multilevel", res)
 	}
 	return nil
 }

@@ -149,3 +149,58 @@ func TestRunRobustnessLognormalNeedsShape(t *testing.T) {
 		t.Error("lognormal without explicit -shape accepted")
 	}
 }
+
+func TestRunMultilevelQuick(t *testing.T) {
+	dir := t.TempDir()
+	out, err := capture(t, func() error {
+		return runMultilevel(context.Background(), []string{"-quick", "-runs", "10", "-patterns", "20",
+			"-scenario", "3", "-frac", "0.0667,0.2", "-out", dir})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, frag := range []string{"Multilevel study", "Hera", "K*", "saving"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("output missing %q:\n%s", frag, out)
+		}
+	}
+	if _, err := os.Stat(filepath.Join(dir, "multilevel.csv")); err != nil {
+		t.Errorf("CSV not written: %v", err)
+	}
+}
+
+// The -warm flag is the render-level acceptance pin at the CLI surface:
+// for a fixed seed the two modes must print byte-identical tables.
+func TestRunMultilevelWarmColdByteIdentical(t *testing.T) {
+	run := func(warm string) string {
+		out, err := capture(t, func() error {
+			return runMultilevel(context.Background(), []string{"-quick", "-runs", "10",
+				"-patterns", "20", "-seed", "5", "-warm=" + warm})
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	if w, c := run("true"), run("false"); w != c {
+		t.Errorf("warm and cold CLI renders differ:\n--- warm ---\n%s\n--- cold ---\n%s", w, c)
+	}
+}
+
+func TestRunMultilevelRejectsBadFlags(t *testing.T) {
+	if _, err := capture(t, func() error {
+		return runMultilevel(context.Background(), []string{"-scenario", "9"})
+	}); err == nil {
+		t.Error("scenario 9 accepted")
+	}
+	if _, err := capture(t, func() error {
+		return runMultilevel(context.Background(), []string{"-frac", "0.1,bogus"})
+	}); err == nil {
+		t.Error("malformed -frac accepted")
+	}
+	if _, err := capture(t, func() error {
+		return runMultilevel(context.Background(), []string{"stray"})
+	}); err == nil {
+		t.Error("stray positional accepted")
+	}
+}

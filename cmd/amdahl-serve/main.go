@@ -2,8 +2,11 @@
 // long-running JSON-over-HTTP planning service: evaluate (exact overhead
 // and pattern time at a given (T, P)), optimize (the numerical optimum
 // (T*, P*)), simulate (seeded Monte-Carlo campaigns, including the
-// non-exponential -dist laws), and sweep (a whole figure axis solved as
-// one warm-start chain, streamed back as NDJSON rows).
+// non-exponential -dist laws), sweep (a whole figure axis solved as one
+// warm-start chain, streamed back as NDJSON rows — single-level, or
+// two-level with "multilevel"), and the two-level protocol endpoints
+// multilevel/optimize (the joint (T*, K*, P*) optimum) and
+// multilevel/simulate (seeded two-level campaigns).
 //
 // One process amortizes repeated configurations across requests: compiled
 // evaluators, optimizer results and campaign results are cached under
@@ -20,6 +23,8 @@
 //	curl -s localhost:8080/v1/optimize -d '{"model":{"platform":"hera","scenario":1}}'
 //	curl -s localhost:8080/v1/simulate -d '{"model":{"platform":"hera"},"runs":100,"seed":1}'
 //	curl -s localhost:8080/v1/sweep -d '{"model":{"platform":"hera","scenario":3},"axis":"lambda","values":[1e-10,2e-10,4e-10]}'
+//	curl -s localhost:8080/v1/multilevel/optimize -d '{"model":{"platform":"hera","scenario":3},"in_mem_fraction":0.0667}'
+//	curl -s localhost:8080/v1/multilevel/simulate -d '{"model":{"platform":"hera","scenario":3},"runs":100,"seed":1}'
 //	curl -s localhost:8080/v1/stats
 package main
 

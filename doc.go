@@ -14,8 +14,9 @@
 //   - internal/experiments — drivers regenerating Figs. 2–7;
 //   - internal/baselines — Young, Daly, fail-stop-only and
 //     iterative-relaxation comparators;
-//   - internal/multilevel — a two-level pattern extension (future work
-//     in the paper's Section V);
+//   - internal/multilevel — the two-level pattern extension (future
+//     work in the paper's Section V), end-to-end: joint (T, K, P)
+//     optimizer, warm-start sweep solver and parallel campaigns;
 //   - internal/service — the long-running evaluation service behind
 //     cmd/amdahl-serve;
 //   - substrates: speedup, costmodel, platform, failures, rng, stats,
@@ -66,6 +67,26 @@
 // baselines, robustness) already route through it; amdahl-exp
 // -warm=false restores the per-cell scans. See DESIGN.md, "Warm-start
 // sweep solver".
+//
+// # Two-level resilience end-to-end
+//
+// internal/multilevel promotes the Section V two-level protocol (cheap
+// in-memory checkpoints under the disk level) to a first-class
+// workload: multilevel.OptimalPattern searches the joint (T, K, P) box
+// — the paper's central how-many-processors question asked of the
+// two-level protocol — with a closed-form inner (T, K) solve per
+// compiled evaluator; multilevel.SweepSolver warm-starts
+// (T*, K*, P*) chains along smooth axes exactly like
+// optimize.SweepSolver; Simulator.SimulateContext prices patterns on
+// the shared chunked-dispatch runner (sim.ForEachRun) with per-run
+// streams and fail-fast cancellation. New two-level work goes through
+// multilevel.SweepSolver (or POST /v1/multilevel/*), never per-cell
+// FirstOrder calls in a loop. The study driver is
+// experiments.MultilevelStudy ("amdahl-exp multilevel"); the service
+// endpoints are /v1/multilevel/optimize, /v1/multilevel/simulate and
+// the "multilevel" axis switch on /v1/sweep, cached under the
+// versioned ml1| key namespace. See DESIGN.md, "Multilevel
+// end-to-end".
 //
 // # Service layer
 //

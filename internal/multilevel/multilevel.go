@@ -33,6 +33,7 @@
 package multilevel
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -84,10 +85,22 @@ type Plan struct {
 	PredictedH float64
 }
 
-// FirstOrder returns the separable first-order optimum for the given
-// costs, platform rates (λf, λs at the target processor count) and
-// error-free overhead hOfP = H(P). K is rounded to the better of the two
-// adjacent integers (at least 1).
+// FirstOrder returns the first-order optimum for the given costs,
+// platform rates (λf, λs at the target processor count) and error-free
+// overhead hOfP = H(P).
+//
+// The separable analysis gives the continuous optimum T* = sqrt((V+C1)/λs),
+// U* = sqrt(2·C2/λf), K* = U*/T* — and K* is also the exact continuous
+// minimizer of the T-re-optimized objective min_T H(T, K): the product
+// (V + C1 + C2/K)·(λs + λf·K/2) that min_T H = H(P)·(1 + 2·sqrt(·))
+// depends on is stationary at exactly K*² = 2·C2·λs/((V+C1)·λf). The
+// integer optimum is therefore floor or ceil of K*, but each candidate
+// must be scored at its own re-optimized segment length
+// (OptimalSegmentLength): the separable T* is optimal only for the
+// continuous K*, and a plan pinned at the separable T can sit far above
+// the true first-order optimum when K* rounds hard (near-half-integer
+// K*, or the K* < 1 regime where K clamps to 1 and the optimal segment
+// degenerates to the single-level Young/Daly period).
 func FirstOrder(c Costs, lambdaF, lambdaS, hOfP float64) (Plan, error) {
 	if err := c.Validate(); err != nil {
 		return Plan{}, err
@@ -105,17 +118,23 @@ func FirstOrder(c Costs, lambdaF, lambdaS, hOfP float64) (Plan, error) {
 		kReal = 1
 	}
 	lo, hi := math.Floor(kReal), math.Ceil(kReal)
-	kBest := int(lo)
+	best := planAtK(c, int(lo), lambdaF, lambdaS, hOfP)
 	if hi != lo {
-		if overhead(c, t, int(hi), lambdaF, lambdaS, hOfP) <
-			overhead(c, t, int(lo), lambdaF, lambdaS, hOfP) {
-			kBest = int(hi)
+		if alt := planAtK(c, int(hi), lambdaF, lambdaS, hOfP); alt.PredictedH < best.PredictedH {
+			best = alt
 		}
 	}
+	return best, nil
+}
+
+// planAtK is the first-order optimum restricted to a fixed integer K: the
+// re-optimized segment length and its overhead.
+func planAtK(c Costs, k int, lambdaF, lambdaS, hOfP float64) Plan {
+	t := OptimalSegmentLength(c, k, lambdaF, lambdaS)
 	return Plan{
-		Pattern:    Pattern{T: t, K: kBest},
-		PredictedH: overhead(c, t, kBest, lambdaF, lambdaS, hOfP),
-	}, nil
+		Pattern:    Pattern{T: t, K: k},
+		PredictedH: overhead(c, t, k, lambdaF, lambdaS, hOfP),
+	}
 }
 
 // overhead is the first-order expected execution overhead of a two-level
@@ -141,7 +160,9 @@ func Overhead(c Costs, p Pattern, lambdaF, lambdaS, hOfP float64) float64 {
 // given processor count, treating the model's checkpoint as the disk
 // level and inMemFraction·C_P as the in-memory level.
 func SingleLevelCosts(m core.Model, p, inMemFraction float64) (Costs, error) {
-	if inMemFraction < 0 || inMemFraction > 1 {
+	// The negated form catches NaN (which compares false both ways and
+	// would otherwise flow into every derived cost).
+	if !(inMemFraction >= 0 && inMemFraction <= 1) {
 		return Costs{}, fmt.Errorf("multilevel: in-memory fraction %g outside [0,1]", inMemFraction)
 	}
 	c2 := m.Res.Checkpoint.At(p)
@@ -279,23 +300,23 @@ func (s *Simulator) attemptPattern(r *rng.Rand, st *Stats) bool {
 }
 
 // Simulate runs a Monte-Carlo campaign and returns the per-run overhead
-// summary, where overhead = elapsed / (patterns·K·T) · hOfP.
+// summary, where overhead = elapsed / (patterns·K·T) · hOfP. It is
+// SimulateContext with a background context and a single worker; per-run
+// streams (Split(i)) make the two return identical statistics at any
+// worker count.
 func (s *Simulator) Simulate(runs, patterns int, seed uint64, hOfP float64) (stats.Summary, error) {
+	// Explicit arguments keep the historical contract: zero is an error
+	// here, a select-the-default in CampaignConfig.
 	if runs < 1 || patterns < 1 {
 		return stats.Summary{}, errors.New("multilevel: need positive runs and patterns")
 	}
-	master := rng.New(seed)
-	var acc stats.Welford
-	work := float64(s.pattern.K) * s.pattern.T * float64(patterns)
-	for i := 0; i < runs; i++ {
-		r := master.Split(uint64(i))
-		var st Stats
-		for p := 0; p < patterns; p++ {
-			s.SimulatePattern(r, &st)
-		}
-		acc.Add(st.Elapsed / work * hOfP)
+	res, err := s.SimulateContext(context.Background(), CampaignConfig{
+		Runs: runs, Patterns: patterns, Seed: seed, Workers: 1, HOfP: hOfP,
+	})
+	if err != nil {
+		return stats.Summary{}, err
 	}
-	return acc.Summarize(), nil
+	return res.Overhead, nil
 }
 
 // OptimalNumerical refines the first-order plan by direct search: golden
@@ -314,7 +335,7 @@ func OptimalNumerical(c Costs, lambdaF, lambdaS, hOfP float64) (Plan, error) {
 		lo = 1
 	}
 	for k := lo; k <= seed.K+3; k++ {
-		t := bestSegmentLength(c, k, lambdaF, lambdaS)
+		t := OptimalSegmentLength(c, k, lambdaF, lambdaS)
 		h := overhead(c, t, k, lambdaF, lambdaS, hOfP)
 		if h < best.PredictedH {
 			best = Plan{Pattern: Pattern{T: t, K: k}, PredictedH: h}
@@ -323,9 +344,11 @@ func OptimalNumerical(c Costs, lambdaF, lambdaS, hOfP float64) (Plan, error) {
 	return best, nil
 }
 
-// bestSegmentLength minimizes the first-order overhead over T for a fixed
-// K: dH/dT = 0 gives T = sqrt((V + C1 + C2/K) / (λs + λf·K/2)).
-func bestSegmentLength(c Costs, k int, lambdaF, lambdaS float64) float64 {
+// OptimalSegmentLength minimizes the first-order overhead over T for a
+// fixed K: dH/dT = 0 gives T = sqrt((V + C1 + C2/K) / (λs + λf·K/2)).
+// K = 1 recovers the single-level Young/Daly period for the combined
+// cost V + C1 + C2.
+func OptimalSegmentLength(c Costs, k int, lambdaF, lambdaS float64) float64 {
 	kk := float64(k)
 	return math.Sqrt((c.V + c.C1 + c.C2/kk) / (lambdaS + lambdaF*kk/2))
 }

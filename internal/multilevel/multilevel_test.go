@@ -44,18 +44,80 @@ func TestFirstOrderSeparation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// T* = sqrt((V+C1)/λs), U* = sqrt(2·C2/λf).
-	wantT := math.Sqrt((c.V + c.C1) / ls)
-	if !xmath.EqualWithin(plan.T, wantT, 1e-9, 0) {
-		t.Errorf("T* = %g, want %g", plan.T, wantT)
-	}
+	// K rounds the separable K* = U*/T* (T* = sqrt((V+C1)/λs),
+	// U* = sqrt(2·C2/λf)) to an adjacent integer…
+	sepT := math.Sqrt((c.V + c.C1) / ls)
 	wantU := math.Sqrt(2 * c.C2 / lf)
-	kReal := wantU / wantT
+	kReal := wantU / sepT
 	if math.Abs(float64(plan.K)-kReal) > 1 {
 		t.Errorf("K = %d, want ≈%g", plan.K, kReal)
 	}
 	if plan.K < 1 {
 		t.Error("K must be at least 1")
+	}
+	// …and T is re-optimized for that integer K (near the separable T*
+	// when K* is far from its rounding boundaries, but not equal to it).
+	wantT := OptimalSegmentLength(c, plan.K, lf, ls)
+	if plan.T != wantT {
+		t.Errorf("T = %g, want the re-optimized segment length %g", plan.T, wantT)
+	}
+	if plan.T < sepT/2 || plan.T > sepT*2 {
+		t.Errorf("re-optimized T = %g implausibly far from separable %g", plan.T, sepT)
+	}
+}
+
+// Regression: FirstOrder used to return the *separable* T* with the
+// rounded K. The separable period is optimal only for the continuous K*,
+// so in regimes where K* rounds hard the returned plan sat far above the
+// true first-order optimum — most dramatically when K* < 1 clamps to
+// K = 1 and the optimal segment degenerates to the single-level
+// Young/Daly period sqrt((V+C1+C2)/(λs+λf/2)). Pin an adversarial cost
+// set in that regime plus a near-half-integer K* case, and require the
+// plan to match a brute-force integer-K scan with re-optimized T.
+func TestFirstOrderRoundingRegression(t *testing.T) {
+	cases := []struct {
+		name   string
+		c      Costs
+		lf, ls float64
+	}{
+		// K* ≈ 0.326: clamps to K = 1; the separable T* ≈ 25822 s while
+		// the true first-order optimum at K = 1 is T ≈ 8146 s. The old
+		// plan's overhead exceeds the optimum by ~74%.
+		{"clamped", Costs{V: 15.4, C1: 20, R1: 20, C2: 300, R2: 300, D: 3600}, 1e-5, 5.31e-8},
+		// K* ≈ 2.4999: the half-integer boundary where rounding is most
+		// brutal for a fixed-T plan.
+		{"half-integer", Costs{V: 15.4, C1: 20, R1: 20, C2: 300, R2: 300, D: 3600},
+			1e-6, 1e-6 * 2.4999 * 2.4999 * 35.4 / 600},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			plan, err := FirstOrder(tc.c, tc.lf, tc.ls, 0.1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Brute force over integer K with re-optimized T per K.
+			bestH := math.Inf(1)
+			bestK := 0
+			for k := 1; k <= 200; k++ {
+				tt := OptimalSegmentLength(tc.c, k, tc.lf, tc.ls)
+				if h := Overhead(tc.c, Pattern{T: tt, K: k}, tc.lf, tc.ls, 0.1); h < bestH {
+					bestH, bestK = h, k
+				}
+			}
+			if plan.K != bestK {
+				t.Errorf("K = %d, brute force wants %d", plan.K, bestK)
+			}
+			if plan.PredictedH > bestH*(1+1e-12) {
+				t.Errorf("PredictedH = %g exceeds brute-force optimum %g (excess %.2f%%)",
+					plan.PredictedH, bestH, (plan.PredictedH/bestH-1)*100)
+			}
+			// The separable-T plan must not sneak back in: at the clamped
+			// case it is measurably worse than what FirstOrder now returns.
+			sepT := math.Sqrt((tc.c.V + tc.c.C1) / tc.ls)
+			if sepH := Overhead(tc.c, Pattern{T: sepT, K: plan.K}, tc.lf, tc.ls, 0.1); sepH < plan.PredictedH {
+				t.Errorf("separable-T plan (%g) beats the re-optimized plan (%g)", sepH, plan.PredictedH)
+			}
+		})
 	}
 }
 
@@ -226,12 +288,56 @@ func TestSingleLevelCostsValidation(t *testing.T) {
 	if _, err := SingleLevelCosts(m, 512, 1.5); err == nil {
 		t.Error("fraction > 1 accepted")
 	}
+	if _, err := SingleLevelCosts(m, 512, -0.01); err == nil {
+		t.Error("negative fraction accepted")
+	}
+	// NaN compares false against both bounds: the naive two-sided check
+	// used to let it through and poison every derived cost.
+	if _, err := SingleLevelCosts(m, 512, math.NaN()); err == nil {
+		t.Error("NaN fraction accepted")
+	}
 	c, err := SingleLevelCosts(m, 512, 0.1)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !xmath.EqualWithin(c.C1, 30, 1e-9, 0) || !xmath.EqualWithin(c.C2, 300, 1e-9, 0) {
 		t.Errorf("derived costs wrong: %+v", c)
+	}
+}
+
+// The boundary fractions are meaningful configurations, not errors: 0 is
+// a free (instant) in-memory level, 1 prices both levels at the full
+// disk cost. Both must produce valid cost sets that FirstOrder accepts.
+func TestSingleLevelCostsBoundaryFractions(t *testing.T) {
+	res, _ := costmodel.Scenario3.Calibrate(512, 300, 15.4, 3600)
+	m := core.Model{
+		LambdaInd: 1e-8, FailStopFrac: 0.2, SilentFrac: 0.8,
+		Res: res, Profile: speedup.Amdahl{Alpha: 0.1},
+	}
+	lf, ls := m.Rates(512)
+	for _, tc := range []struct {
+		frac   float64
+		c1, c2 float64
+	}{
+		{0, 0, 300},
+		{1, 300, 300},
+	} {
+		c, err := SingleLevelCosts(m, 512, tc.frac)
+		if err != nil {
+			t.Fatalf("fraction %g rejected: %v", tc.frac, err)
+		}
+		if !xmath.EqualWithin(c.C1, tc.c1, 1e-9, 0) || !xmath.EqualWithin(c.C2, tc.c2, 1e-9, 0) {
+			t.Errorf("fraction %g: derived costs %+v, want C1=%g C2=%g", tc.frac, c, tc.c1, tc.c2)
+		}
+		if err := c.Validate(); err != nil {
+			t.Errorf("fraction %g: derived costs invalid: %v", tc.frac, err)
+		}
+		plan, err := FirstOrder(c, lf, ls, 0.1)
+		if err != nil {
+			t.Errorf("fraction %g: FirstOrder rejected derived costs: %v", tc.frac, err)
+		} else if plan.K < 1 || !(plan.T > 0) || !(plan.PredictedH > 0) || math.IsInf(plan.PredictedH, 0) {
+			t.Errorf("fraction %g: degenerate plan %+v", tc.frac, plan)
+		}
 	}
 }
 
@@ -303,12 +409,12 @@ func TestOptimalNumericalNeverWorseThanFirstOrder(t *testing.T) {
 	}
 }
 
-func TestBestSegmentLengthStationarity(t *testing.T) {
+func TestOptimalSegmentLengthStationarity(t *testing.T) {
 	// For each K, the closed-form T must be the minimum of the overhead.
 	c := heraCosts()
 	lf, ls := heraRates(512)
 	for _, k := range []int{1, 3, 8, 20} {
-		tt := bestSegmentLength(c, k, lf, ls)
+		tt := OptimalSegmentLength(c, k, lf, ls)
 		h0 := Overhead(c, Pattern{T: tt, K: k}, lf, ls, 0.1)
 		for _, f := range []float64{0.9, 1.1} {
 			if h := Overhead(c, Pattern{T: tt * f, K: k}, lf, ls, 0.1); h < h0-1e-12 {

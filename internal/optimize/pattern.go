@@ -263,7 +263,7 @@ func OptimalPattern(m core.Model, opts PatternOptions) (PatternResult, error) {
 	pStar := outer.X
 	atBound := pStar >= opts.PMax*(1-1e-6)
 	if opts.IntegerP && !atBound {
-		pStar = betterInteger(g, pStar, opts.PMin, opts.PMax)
+		pStar = BetterInteger(g, pStar, opts.PMin, opts.PMax)
 	}
 	inner := probe(pStar)
 	if inner.err != nil {
@@ -291,9 +291,10 @@ var (
 	errGridAllInf = errors.New("optimize: objective is +Inf over the whole grid")
 )
 
-// betterInteger picks the best integer processor count adjacent to the
-// continuous optimum.
-func betterInteger(g Func, p, pMin, pMax float64) float64 {
+// BetterInteger picks the best integer processor count adjacent to the
+// continuous optimum (exported for the outer P rounding of every joint
+// optimizer, including the two-level one in internal/multilevel).
+func BetterInteger(g Func, p, pMin, pMax float64) float64 {
 	lo := math.Max(pMin, math.Floor(p))
 	hi := math.Min(pMax, math.Ceil(p))
 	if lo == hi {

@@ -240,7 +240,7 @@ func (s *SweepSolver) scan(m core.Model, pLo, pHi float64, gridP int, warm bool)
 		return pr.res.F
 	}
 
-	outer, err := gridBrentLog(g, pLo, pHi, gridP, opts.Tol)
+	outer, err := GridBrentLog(g, pLo, pHi, gridP, opts.Tol)
 	if err != nil {
 		if warm {
 			return PatternResult{}, err
@@ -251,7 +251,7 @@ func (s *SweepSolver) scan(m core.Model, pLo, pHi float64, gridP int, warm bool)
 	pStar := outer.X
 	atBound := pStar >= opts.PMax*(1-1e-6)
 	if opts.IntegerP && !atBound {
-		pStar = betterInteger(g, pStar, opts.PMin, opts.PMax)
+		pStar = BetterInteger(g, pStar, opts.PMin, opts.PMax)
 	}
 	inner := probe(pStar)
 	if inner.err != nil {
@@ -360,10 +360,12 @@ func gridBrentFrozen(fz *core.Frozen, uLo, uHi float64, points int, tol float64)
 	return res, nil
 }
 
-// gridBrentLog is the outer-loop counterpart on an arbitrary objective:
+// GridBrentLog is the outer-loop counterpart on an arbitrary objective:
 // a geometric grid over [lo, hi] followed by bounded Brent in u = log x
 // coordinates. The returned X is in natural (not log) coordinates.
-func gridBrentLog(f Func, lo, hi float64, points int, tol float64) (Result, error) {
+// Exported as the shared warm-bracket outer solve (the two-level sweep
+// solver in internal/multilevel runs the same scheme).
+func GridBrentLog(f Func, lo, hi float64, points int, tol float64) (Result, error) {
 	if !(hi > lo) || lo <= 0 {
 		return Result{}, errGridBounds
 	}

@@ -33,6 +33,7 @@ import (
 
 	"amdahlyd/internal/core"
 	"amdahlyd/internal/failures"
+	"amdahlyd/internal/multilevel"
 	"amdahlyd/internal/optimize"
 	"amdahlyd/internal/sim"
 )
@@ -83,29 +84,39 @@ type Engine struct {
 	frozen    *lruCache[*core.Frozen]
 	optimizes *lruCache[optimize.PatternResult]
 	sims      *lruCache[sim.RunResult]
-	flight    *flightGroup
+	// mlOptimizes and mlSims are the two-level counterparts, living in
+	// their own LRUs under the versioned ml1| key extension (see
+	// multilevel.go): two-level results never alias single-level entries.
+	mlOptimizes *lruCache[multilevel.PatternResult]
+	mlSims      *lruCache[multilevel.CampaignResult]
+	flight      *flightGroup
 
 	// sem is the bounded job scheduler: one slot per executing job.
 	sem chan struct{}
 
-	evals      atomic.Uint64
-	optCalls   atomic.Uint64
-	simCalls   atomic.Uint64
-	sweepCalls atomic.Uint64
-	inFlight   atomic.Int64
-	cancelled  atomic.Uint64
+	evals        atomic.Uint64
+	optCalls     atomic.Uint64
+	simCalls     atomic.Uint64
+	sweepCalls   atomic.Uint64
+	mlOptCalls   atomic.Uint64
+	mlSimCalls   atomic.Uint64
+	mlSweepCalls atomic.Uint64
+	inFlight     atomic.Int64
+	cancelled    atomic.Uint64
 }
 
 // NewEngine builds an engine with the given options.
 func NewEngine(opts Options) *Engine {
 	opts = opts.withDefaults()
 	return &Engine{
-		opts:      opts,
-		frozen:    newLRU[*core.Frozen](opts.FrozenCacheSize),
-		optimizes: newLRU[optimize.PatternResult](opts.ResultCacheSize),
-		sims:      newLRU[sim.RunResult](opts.ResultCacheSize),
-		flight:    newFlightGroup(),
-		sem:       make(chan struct{}, opts.MaxConcurrent),
+		opts:        opts,
+		frozen:      newLRU[*core.Frozen](opts.FrozenCacheSize),
+		optimizes:   newLRU[optimize.PatternResult](opts.ResultCacheSize),
+		sims:        newLRU[sim.RunResult](opts.ResultCacheSize),
+		mlOptimizes: newLRU[multilevel.PatternResult](opts.ResultCacheSize),
+		mlSims:      newLRU[multilevel.CampaignResult](opts.ResultCacheSize),
+		flight:      newFlightGroup(),
+		sem:         make(chan struct{}, opts.MaxConcurrent),
 	}
 }
 
@@ -382,32 +393,42 @@ func (e *Engine) release() {
 
 // Stats is the observable state of the engine.
 type Stats struct {
-	Evaluations   uint64     `json:"evaluations"`
-	OptimizeCalls uint64     `json:"optimize_calls"`
-	SimulateCalls uint64     `json:"simulate_calls"`
-	SweepCalls    uint64     `json:"sweep_calls"`
-	Deduplicated  uint64     `json:"deduplicated"`
-	Cancelled     uint64     `json:"cancelled"`
-	InFlight      int64      `json:"in_flight"`
-	MaxConcurrent int        `json:"max_concurrent"`
-	FrozenCache   CacheStats `json:"frozen_cache"`
-	OptimizeCache CacheStats `json:"optimize_cache"`
-	SimulateCache CacheStats `json:"simulate_cache"`
+	Evaluations             uint64     `json:"evaluations"`
+	OptimizeCalls           uint64     `json:"optimize_calls"`
+	SimulateCalls           uint64     `json:"simulate_calls"`
+	SweepCalls              uint64     `json:"sweep_calls"`
+	MultilevelOptimizeCalls uint64     `json:"multilevel_optimize_calls"`
+	MultilevelSimulateCalls uint64     `json:"multilevel_simulate_calls"`
+	MultilevelSweepCalls    uint64     `json:"multilevel_sweep_calls"`
+	Deduplicated            uint64     `json:"deduplicated"`
+	Cancelled               uint64     `json:"cancelled"`
+	InFlight                int64      `json:"in_flight"`
+	MaxConcurrent           int        `json:"max_concurrent"`
+	FrozenCache             CacheStats `json:"frozen_cache"`
+	OptimizeCache           CacheStats `json:"optimize_cache"`
+	SimulateCache           CacheStats `json:"simulate_cache"`
+	MultilevelOptimizeCache CacheStats `json:"multilevel_optimize_cache"`
+	MultilevelSimulateCache CacheStats `json:"multilevel_simulate_cache"`
 }
 
 // Stats snapshots the engine counters.
 func (e *Engine) Stats() Stats {
 	return Stats{
-		Evaluations:   e.evals.Load(),
-		OptimizeCalls: e.optCalls.Load(),
-		SimulateCalls: e.simCalls.Load(),
-		SweepCalls:    e.sweepCalls.Load(),
-		Deduplicated:  e.flight.Deduped(),
-		Cancelled:     e.cancelled.Load(),
-		InFlight:      e.inFlight.Load(),
-		MaxConcurrent: e.opts.MaxConcurrent,
-		FrozenCache:   e.frozen.Stats(),
-		OptimizeCache: e.optimizes.Stats(),
-		SimulateCache: e.sims.Stats(),
+		Evaluations:             e.evals.Load(),
+		OptimizeCalls:           e.optCalls.Load(),
+		SimulateCalls:           e.simCalls.Load(),
+		SweepCalls:              e.sweepCalls.Load(),
+		MultilevelOptimizeCalls: e.mlOptCalls.Load(),
+		MultilevelSimulateCalls: e.mlSimCalls.Load(),
+		MultilevelSweepCalls:    e.mlSweepCalls.Load(),
+		Deduplicated:            e.flight.Deduped(),
+		Cancelled:               e.cancelled.Load(),
+		InFlight:                e.inFlight.Load(),
+		MaxConcurrent:           e.opts.MaxConcurrent,
+		FrozenCache:             e.frozen.Stats(),
+		OptimizeCache:           e.optimizes.Stats(),
+		SimulateCache:           e.sims.Stats(),
+		MultilevelOptimizeCache: e.mlOptimizes.Stats(),
+		MultilevelSimulateCache: e.mlSims.Stats(),
 	}
 }

@@ -12,6 +12,7 @@ import (
 	"amdahlyd/internal/costmodel"
 	"amdahlyd/internal/experiments"
 	"amdahlyd/internal/failures"
+	"amdahlyd/internal/multilevel"
 	"amdahlyd/internal/optimize"
 	"amdahlyd/internal/platform"
 	"amdahlyd/internal/sim"
@@ -50,7 +51,8 @@ type ModelSpec struct {
 	// Downtime D in seconds; null/omitted means the CLI default 3600.
 	Downtime *float64 `json:"downtime,omitempty"`
 	// Lambda overrides the platform's λ_ind when positive (the -lambda
-	// flag).
+	// flag). Zero (or omitted) keeps the platform rate; a negative or
+	// non-finite value is a request error, not a silent fallback.
 	Lambda float64 `json:"lambda,omitempty"`
 }
 
@@ -64,6 +66,13 @@ func (s ModelSpec) Build() (core.Model, platform.Platform, error) {
 	pl, err := platform.Lookup(name)
 	if err != nil {
 		return core.Model{}, platform.Platform{}, err
+	}
+	// "Overrides when positive" used to silently ignore a negative (or
+	// NaN/Inf) override and serve the platform rate as if the request had
+	// been honoured; an explicit bad override must be a request error.
+	if s.Lambda < 0 || math.IsNaN(s.Lambda) || math.IsInf(s.Lambda, 0) {
+		return core.Model{}, platform.Platform{}, fmt.Errorf(
+			"lambda override %g must be positive (omit or zero to keep the platform rate)", s.Lambda)
 	}
 	if s.Lambda > 0 {
 		pl = pl.WithLambda(s.Lambda)
@@ -163,8 +172,27 @@ type SweepRequest struct {
 	// Options tunes the search box, as for /v1/optimize.
 	Options OptimizeOptions `json:"options,omitempty"`
 	// Cold disables warm-starting: every cell pays the full grid scan and
-	// is bit-identical to (and shares cache entries with) /v1/optimize.
+	// is bit-identical to (and shares cache entries with) /v1/optimize
+	// (or /v1/multilevel/optimize for a multilevel sweep).
 	Cold bool `json:"cold,omitempty"`
+	// Multilevel switches the axis to the two-level protocol: every cell
+	// is solved as a joint (T, K, P) optimum by the multilevel warm-start
+	// chain, and rows carry the segment count K.
+	Multilevel *MultilevelSweepSpec `json:"multilevel,omitempty"`
+}
+
+// MultilevelSweepSpec selects the two-level protocol for a sweep axis.
+type MultilevelSweepSpec struct {
+	// InMemFraction prices the in-memory level at frac·C_P; null/omitted
+	// selects the default 1/15 (as for /v1/multilevel/optimize).
+	InMemFraction *float64 `json:"in_mem_fraction,omitempty"`
+}
+
+func (s *MultilevelSweepSpec) fraction() float64 {
+	if s.InMemFraction != nil {
+		return *s.InMemFraction
+	}
+	return defaultInMemFraction
 }
 
 // withAxis returns the spec with the axis parameter replaced by v.
@@ -187,8 +215,11 @@ func (s ModelSpec) withAxis(axis string, v float64) (ModelSpec, error) {
 
 // SweepRow is one NDJSON line of a sweep response.
 type SweepRow struct {
-	X        float64 `json:"x"`
-	T        float64 `json:"t"`
+	X float64 `json:"x"`
+	T float64 `json:"t"`
+	// K is the two-level segment count; present only on multilevel
+	// sweeps (single-level patterns have no segment structure).
+	K        int     `json:"k,omitempty"`
 	P        float64 `json:"p"`
 	Overhead float64 `json:"overhead"`
 	Method   string  `json:"method"`
@@ -280,6 +311,8 @@ func NewServer(e *Engine) *Server {
 	s.mux.HandleFunc("POST /v1/optimize", s.handleOptimize)
 	s.mux.HandleFunc("POST /v1/simulate", s.handleSimulate)
 	s.mux.HandleFunc("POST /v1/sweep", s.handleSweep)
+	s.mux.HandleFunc("POST /v1/multilevel/optimize", s.handleMultilevelOptimize)
+	s.mux.HandleFunc("POST /v1/multilevel/simulate", s.handleMultilevelSimulate)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	return s
@@ -515,10 +548,60 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		}
 		models[i] = m
 	}
-	cells, _, err := s.engine.Sweep(r.Context(), models, req.Options.pattern(), req.Cold)
-	if err != nil {
-		writeErr(w, statusFor(r.Context(), err), err)
-		return
+	var rows []SweepRow
+	if req.Multilevel != nil {
+		// The two-level axis: the segment length is closed-form at every
+		// (K, P), so period search bounds have no meaning here — reject
+		// them loudly instead of silently ignoring half the options.
+		if req.Options.TMin != 0 || req.Options.TMax != 0 {
+			writeErr(w, http.StatusBadRequest,
+				fmt.Errorf("t_min/t_max have no effect on a multilevel sweep (the segment length is closed-form)"))
+			return
+		}
+		mlOpts := multilevel.PatternOptions{
+			PMin: req.Options.PMin, PMax: req.Options.PMax, IntegerP: req.Options.IntegerP,
+		}
+		cells, _, err := s.engine.MultilevelSweep(r.Context(), models, req.Multilevel.fraction(), mlOpts, req.Cold)
+		if err != nil {
+			writeErr(w, statusFor(r.Context(), err), err)
+			return
+		}
+		rows = make([]SweepRow, len(cells))
+		for i, c := range cells {
+			rows[i] = SweepRow{
+				X:        req.Values[i],
+				T:        c.Result.T,
+				K:        c.Result.K,
+				P:        c.Result.P,
+				Overhead: c.Result.PredictedH,
+				Method:   "multilevel",
+				AtPBound: c.Result.AtPBound,
+				Evals:    c.Result.Evals,
+				Warm:     c.Result.Warm,
+				Cached:   c.Cached,
+			}
+		}
+	} else {
+		cells, _, err := s.engine.Sweep(r.Context(), models, req.Options.pattern(), req.Cold)
+		if err != nil {
+			writeErr(w, statusFor(r.Context(), err), err)
+			return
+		}
+		rows = make([]SweepRow, len(cells))
+		for i, c := range cells {
+			rows[i] = SweepRow{
+				X:        req.Values[i],
+				T:        c.Result.T,
+				P:        c.Result.P,
+				Overhead: c.Result.Overhead,
+				Method:   c.Result.Method,
+				Class:    c.Result.Class.String(),
+				AtPBound: c.Result.AtPBound,
+				Evals:    c.Result.Evals,
+				Warm:     c.Result.Warm,
+				Cached:   c.Cached,
+			}
+		}
 	}
 	// The whole axis solved: stream one NDJSON row per cell. Rows are
 	// marshalled individually so one unrepresentable value (a non-finite
@@ -527,19 +610,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.WriteHeader(http.StatusOK)
 	flusher, _ := w.(http.Flusher)
-	for i, c := range cells {
-		row := SweepRow{
-			X:        req.Values[i],
-			T:        c.Result.T,
-			P:        c.Result.P,
-			Overhead: c.Result.Overhead,
-			Method:   c.Result.Method,
-			Class:    c.Result.Class.String(),
-			AtPBound: c.Result.AtPBound,
-			Evals:    c.Result.Evals,
-			Warm:     c.Result.Warm,
-			Cached:   c.Cached,
-		}
+	for i, row := range rows {
 		buf, err := json.Marshal(row)
 		if err != nil {
 			buf, _ = json.Marshal(apiError{Error: fmt.Sprintf("cell %d not representable in JSON: %v", i, err)})

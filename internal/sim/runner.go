@@ -151,7 +151,7 @@ func SimulateContext(ctx context.Context, m core.Model, t, p float64, cfg RunCon
 	hOfP := m.Profile.Overhead(p)
 
 	outs := make([]PatternStats, cfg.Runs)
-	err := forEachRun(ctx, cfg.Runs, cfg.Workers, func(i int) error {
+	err := ForEachRun(ctx, cfg.Runs, cfg.Workers, func(i int) error {
 		st, err := runOne(master.Split(uint64(i)))
 		outs[i] = st
 		return err
@@ -174,14 +174,21 @@ func SimulateContext(ctx context.Context, m core.Model, t, p float64, cfg RunCon
 	return res, nil
 }
 
-// forEachRun executes fn(i) for every i in [0, runs) over a bounded
+// ForEachRun executes fn(i) for every i in [0, runs) over a bounded
 // worker pool, failing fast: the first error — or ctx becoming done —
 // stops every worker from claiming further work, so a run-0 failure does
 // not pay for the remaining runs. On failure it returns the error of the
 // lowest-index failed run (wrapped with the index), which keeps error
 // reporting deterministic even though later runs may or may not have
 // executed; a cancelled context wins only when no run error was recorded.
-func forEachRun(ctx context.Context, runs, workers int, fn func(i int) error) error {
+//
+// It is exported as the shared chunked-dispatch substrate for every
+// Monte-Carlo campaign in the repository (the single-level simulators
+// here and the two-level campaigns in internal/multilevel): callers
+// derive run i's stream with rng.Rand.Split(i) and write into
+// preallocated per-run slots, which keeps results independent of the
+// worker count and of the dispatch order.
+func ForEachRun(ctx context.Context, runs, workers int, fn func(i int) error) error {
 	if workers < 1 {
 		// A negative Workers would otherwise spawn no goroutines and
 		// return all-zero stats (NaN overheads) with a nil error.

@@ -121,7 +121,7 @@ func TestForEachRunFailFast(t *testing.T) {
 	for _, workers := range []int{1, 4} {
 		var executed atomic.Int64
 		const runs = 512
-		err := forEachRun(context.Background(), runs, workers, func(i int) error {
+		err := ForEachRun(context.Background(), runs, workers, func(i int) error {
 			executed.Add(1)
 			if i == 0 {
 				return sentinel
@@ -146,7 +146,7 @@ func TestForEachRunFailFast(t *testing.T) {
 // when several runs fail concurrently.
 func TestForEachRunReportsLowestIndex(t *testing.T) {
 	sentinel := errors.New("boom")
-	err := forEachRun(context.Background(), 64, 8, func(i int) error {
+	err := ForEachRun(context.Background(), 64, 8, func(i int) error {
 		if i%2 == 1 { // every odd run fails; 1 is the lowest
 			return sentinel
 		}

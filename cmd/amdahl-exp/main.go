@@ -30,6 +30,16 @@
 //
 //	amdahl-exp multilevel -quick
 //	amdahl-exp multilevel -scenario 3 -frac 0.0667,0.2
+//
+// The campaign subcommand is the crash-safe grid orchestrator: a
+// declarative manifest (or a built-in preset mirroring the five studies)
+// expands into a deterministic cell grid, every completed cell is banked
+// as an atomic checksummed artifact, and -resume finishes an interrupted
+// campaign — SIGKILL included — to the byte-identical aggregate report:
+//
+//	amdahl-exp campaign -preset smoke -out runs/smoke
+//	amdahl-exp campaign -manifest grid.json -out runs/grid
+//	amdahl-exp campaign -manifest grid.json -out runs/grid -resume
 package main
 
 import (
@@ -43,6 +53,7 @@ import (
 	"strconv"
 	"strings"
 
+	"amdahlyd/internal/atomicio"
 	"amdahlyd/internal/costmodel"
 	"amdahlyd/internal/experiments"
 	"amdahlyd/internal/failures"
@@ -63,6 +74,8 @@ func main() {
 		err = runRobustness(ctx, args[1:])
 	case len(args) > 0 && args[0] == "multilevel":
 		err = runMultilevel(ctx, args[1:])
+	case len(args) > 0 && args[0] == "campaign":
+		err = runCampaign(ctx, args[1:])
 	default:
 		err = run(ctx, args)
 	}
@@ -321,14 +334,11 @@ func writeCSV(dir, name string, res renderable) error {
 		return err
 	}
 	path := filepath.Join(dir, name+".csv")
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	if err := res.WriteCSV(f); err != nil {
+	// Temp-and-rename: an interrupt mid-write leaves the previous CSV
+	// intact instead of a truncated file a downstream plot would trust.
+	if err := atomicio.WriteFile(path, res.WriteCSV); err != nil {
 		return err
 	}
 	fmt.Printf("wrote %s\n\n", path)
-	return f.Close()
+	return nil
 }

@@ -55,6 +55,7 @@ func run(args []string) error {
 	frozenCache := fs.Int("frozen-cache", 0, "compiled-evaluator cache entries (0 = default 4096)")
 	resultCache := fs.Int("result-cache", 0, "optimizer/campaign result cache entries per cache (0 = default 1024)")
 	maxConcurrent := fs.Int("max-concurrent", 0, "concurrent optimize/simulate jobs (0 = GOMAXPROCS)")
+	maxQueued := fs.Int("max-queued", 0, "jobs waiting for a scheduler slot before shedding load with 503 (0 = 8×max-concurrent, negative = unbounded)")
 	simWorkers := fs.Int("sim-workers", 0, "worker pool per campaign (0 = 1; results are worker-count independent)")
 	quiet := fs.Bool("quiet", false, "suppress per-request logging")
 	if err := fs.Parse(args); err != nil {
@@ -65,6 +66,7 @@ func run(args []string) error {
 		FrozenCacheSize: *frozenCache,
 		ResultCacheSize: *resultCache,
 		MaxConcurrent:   *maxConcurrent,
+		MaxQueued:       *maxQueued,
 		SimWorkers:      *simWorkers,
 	})
 	var handler http.Handler = service.NewServer(engine)
@@ -73,9 +75,15 @@ func run(args []string) error {
 	}
 
 	srv := &http.Server{
-		Addr:              *addr,
-		Handler:           handler,
+		Addr:    *addr,
+		Handler: handler,
+		// Slow-client protection: a peer that never finishes its headers or
+		// parks an idle keep-alive connection must not hold a socket forever.
+		// Request *bodies* are already bounded (MaxBytesReader in the
+		// handlers) and long responses are legitimate (sweep campaigns), so
+		// no blanket Read/WriteTimeout — those would kill honest work.
 		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       2 * time.Minute,
 	}
 
 	// Graceful shutdown: an interrupt stops accepting, lets in-flight

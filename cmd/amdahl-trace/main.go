@@ -21,8 +21,10 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
+	"amdahlyd/internal/atomicio"
 	"amdahlyd/internal/costmodel"
 	"amdahlyd/internal/experiments"
 	"amdahlyd/internal/failures"
@@ -97,16 +99,15 @@ func runGen(args []string) error {
 	if err != nil {
 		return err
 	}
-	w := os.Stdout
 	if *out != "" {
-		f, err := os.Create(*out)
-		if err != nil {
+		// Temp-and-rename: a kill mid-write leaves the previous trace
+		// intact instead of a truncated CSV a later run would trust.
+		if err := atomicio.WriteFile(*out, func(w io.Writer) error {
+			return tr.WriteCSV(w)
+		}); err != nil {
 			return err
 		}
-		defer f.Close()
-		w = f
-	}
-	if err := tr.WriteCSV(w); err != nil {
+	} else if err := tr.WriteCSV(os.Stdout); err != nil {
 		return err
 	}
 	fmt.Fprintf(os.Stderr, "generated %d events (%d fail-stop, %d silent) over %.3g s on %d procs\n",

@@ -1,0 +1,63 @@
+// Package atomicio is the shared crash-safe file writer: every artifact
+// the drivers emit (trace CSVs, figure CSVs, campaign cell results,
+// reports) goes through write-temp-then-rename, so a process killed at
+// any instant leaves either the previous file or the complete new one —
+// never a truncated artifact that a later resume would trust.
+package atomicio
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// WriteFile writes the output of write to path atomically: the bytes go
+// to a unique temp file in the same directory (rename is only atomic
+// within a filesystem), are flushed and fsynced, and the temp file is
+// renamed over path. On any error the temp file is removed and path is
+// left untouched.
+func WriteFile(path string, write func(w io.Writer) error) (err error) {
+	dir, base := filepath.Split(path)
+	if dir == "" {
+		dir = "."
+	}
+	tmp, err := os.CreateTemp(dir, base+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("atomicio: %w", err)
+	}
+	defer func() {
+		if err != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+		}
+	}()
+	bw := bufio.NewWriter(tmp)
+	if err = write(bw); err != nil {
+		return err
+	}
+	if err = bw.Flush(); err != nil {
+		return fmt.Errorf("atomicio: flushing %s: %w", path, err)
+	}
+	// Sync before rename: without it a power loss after the rename could
+	// surface the new name with missing content on some filesystems.
+	if err = tmp.Sync(); err != nil {
+		return fmt.Errorf("atomicio: syncing %s: %w", path, err)
+	}
+	if err = tmp.Close(); err != nil {
+		return fmt.Errorf("atomicio: closing %s: %w", path, err)
+	}
+	if err = os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("atomicio: %w", err)
+	}
+	return nil
+}
+
+// WriteFileBytes is WriteFile for a fully materialized payload.
+func WriteFileBytes(path string, data []byte) error {
+	return WriteFile(path, func(w io.Writer) error {
+		_, err := w.Write(data)
+		return err
+	})
+}

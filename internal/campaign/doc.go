@@ -1,0 +1,39 @@
+// Package campaign is the crash-safe grid orchestrator: a declarative
+// manifest expands into a deterministic grid of cells (platforms ×
+// scenarios × distributions × protocols × one sweep axis), each cell is
+// solved on the warm-start sweep solvers and priced by Monte-Carlo, and
+// every result lands as one atomic, checksummed artifact file. A
+// campaign killed at any instant — SIGKILL included — loses at most its
+// in-flight cells: resuming re-plans the grid, verifies completed
+// artifacts by checksum, deterministically replays the solver chains,
+// and re-runs only what is missing, producing a byte-identical aggregate
+// report (see DESIGN.md, "Campaign orchestrator & fault injection").
+//
+// # Determinism
+//
+// Cell identity is content-addressed: the ID hashes the canonical
+// core.Model.CacheKey and failures.CacheKey material plus protocol,
+// fraction and budget, so IDs survive manifest reordering, and each
+// cell's Monte-Carlo seed derives from the same material XOR the
+// manifest's master seed. Reports are pure functions of the plan and the
+// banked artifacts — no timestamps, no counters — which is what makes
+// "byte-identical after resume" a testable contract rather than a hope.
+// Skipped cells are Observed into the warm-start chains exactly as their
+// original solve would have been, so resumed chains replay the original
+// refinement path.
+//
+// # Robustness
+//
+// The executor is built to survive the failures the modeled applications
+// survive: transient cell errors retry with exponential backoff and
+// deterministic jitter, a failure budget fails the campaign fast when
+// exceeded (banked cells stay banked either way), cells run under
+// optional per-attempt timeouts, an interrupt cancels in-flight work and
+// flushes the journal, and a deterministic fault-injection plan
+// (FaultPlan: error/panic/delay by cell ID, label or wildcard) lets
+// tests prove the crash/resume/retry behavior instead of hoping for it.
+//
+// The CLI entry point is "amdahl-exp campaign"; the five study presets
+// (Preset, PresetNames) express the paper's hand-written drivers as
+// manifests.
+package campaign

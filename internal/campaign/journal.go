@@ -1,0 +1,71 @@
+package campaign
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+)
+
+// journalEntry is one append-only NDJSON line. The journal is the
+// campaign's observability record — timestamps and attempt counts for a
+// human reading the aftermath of a crash. It is never read back by the
+// executor: artifacts are the resume source of truth, so a torn final
+// line (the one write a SIGKILL can tear) costs nothing.
+type journalEntry struct {
+	TS      string `json:"ts"`
+	Event   string `json:"event"`
+	Cell    string `json:"cell,omitempty"`
+	ID      string `json:"id,omitempty"`
+	Attempt int    `json:"attempt,omitempty"`
+	Error   string `json:"error,omitempty"`
+	Detail  string `json:"detail,omitempty"`
+}
+
+type journal struct {
+	mu sync.Mutex
+	f  *os.File
+}
+
+func openJournal(outDir string) (*journal, error) {
+	f, err := os.OpenFile(filepath.Join(outDir, "journal.ndjson"),
+		os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("campaign: %w", err)
+	}
+	return &journal{f: f}, nil
+}
+
+// log appends one entry as a single write syscall, so concurrent cell
+// workers never interleave bytes within a line.
+func (j *journal) log(e journalEntry) {
+	if j == nil {
+		return
+	}
+	e.TS = time.Now().UTC().Format(time.RFC3339Nano)
+	buf, err := json.Marshal(e)
+	if err != nil {
+		return
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.f.Write(append(buf, '\n'))
+}
+
+// close flushes the journal to stable storage — the clean-shutdown half
+// of the crash-safety contract (SIGINT drains here; SIGKILL relies on
+// the artifacts instead).
+func (j *journal) close() error {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if err := j.f.Sync(); err != nil {
+		j.f.Close()
+		return fmt.Errorf("campaign: syncing journal: %w", err)
+	}
+	return j.f.Close()
+}

@@ -1,0 +1,107 @@
+package campaign
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"path/filepath"
+	"strconv"
+
+	"amdahlyd/internal/atomicio"
+	"amdahlyd/internal/report"
+)
+
+// writeReport aggregates all artifacts into report.txt (human table) and
+// report.csv (long-form data), atomically. Both are pure functions of
+// the plan and the artifacts — no timestamps, no skip/execute counters —
+// so a resumed campaign reproduces them byte for byte.
+func (r *runner) writeReport() (txt, csv string, unsim int, err error) {
+	arts := make([]*Artifact, len(r.plan.Cells))
+	for i, c := range r.plan.Cells {
+		a, err := loadArtifact(r.opts.OutDir, c, r.man.Runs, r.man.Patterns)
+		if err != nil {
+			return "", "", 0, fmt.Errorf("campaign: aggregating: %w", err)
+		}
+		if a.Unsimulable {
+			unsim++
+		}
+		arts[i] = a
+	}
+	txt = filepath.Join(r.opts.OutDir, "report.txt")
+	if err := atomicio.WriteFile(txt, func(w io.Writer) error {
+		return renderReport(w, r.plan, arts, unsim)
+	}); err != nil {
+		return "", "", 0, err
+	}
+	csv = filepath.Join(r.opts.OutDir, "report.csv")
+	if err := atomicio.WriteFile(csv, func(w io.Writer) error {
+		return writeReportCSV(w, r.plan, arts)
+	}); err != nil {
+		return "", "", 0, err
+	}
+	return txt, csv, unsim, nil
+}
+
+func renderReport(w io.Writer, p *Plan, arts []*Artifact, unsim int) error {
+	if _, err := fmt.Fprintf(w, "Campaign %s — %d cells (%d chains, %d unsimulable), seed %d, %d×%d budget\n\n",
+		p.Manifest.Name, len(p.Cells), len(p.Chains), unsim,
+		p.Manifest.Seed, p.Manifest.Runs, p.Manifest.Patterns); err != nil {
+		return err
+	}
+	tb := report.NewTable("Aggregate results",
+		"cell", "T*", "K*", "P*", "H pred", "H sim", "CI95")
+	for i, a := range arts {
+		c := p.Cells[i]
+		k := "-"
+		if c.Protocol == ProtocolMultilevel {
+			k = strconv.Itoa(a.K)
+		}
+		simH, simCI := a.SimOverhead()
+		if err := tb.AddRow(c.Label(), report.Fmt(a.T), k, report.Fmt(a.P),
+			report.Fmt(a.PredictedH), report.Fmt(simH), report.Fmt(simCI)); err != nil {
+			return err
+		}
+	}
+	if err := tb.Render(w); err != nil {
+		return err
+	}
+	_, err := io.WriteString(w, "\n")
+	return err
+}
+
+// csvFloat renders a float at full round-trip precision; NaN (axis or
+// simulated quantities that do not apply) renders empty.
+func csvFloat(v float64) string {
+	if math.IsNaN(v) {
+		return ""
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func writeReportCSV(w io.Writer, p *Plan, arts []*Artifact) error {
+	if _, err := io.WriteString(w,
+		"cell_id,platform,scenario,protocol,dist,shape,frac,alpha,downtime,lambda,axis,x,t,k,p,predicted_h,sim_h,sim_ci,unsimulable\n"); err != nil {
+		return err
+	}
+	for i, a := range arts {
+		c := p.Cells[i]
+		k := ""
+		if c.Protocol == ProtocolMultilevel {
+			k = strconv.Itoa(a.K)
+		}
+		simH, simCI := a.SimOverhead()
+		unsimulable := ""
+		if a.Unsimulable {
+			unsimulable = "1"
+		}
+		if _, err := fmt.Fprintf(w, "%s,%s,%d,%s,%s,%s,%s,%s,%s,%s,%s,%s,%s,%s,%s,%s,%s,%s,%s\n",
+			c.ID, c.Platform, int(c.Scenario), c.Protocol, c.DistName,
+			csvFloat(c.Shape), csvFloat(c.Frac), csvFloat(c.Alpha), csvFloat(c.Downtime),
+			csvFloat(c.Lambda), p.Manifest.Axis, csvFloat(c.X),
+			csvFloat(a.T), k, csvFloat(a.P), csvFloat(a.PredictedH),
+			csvFloat(simH), csvFloat(simCI), unsimulable); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -58,6 +58,13 @@ type Options struct {
 	// already saturated, and per-run streams make the setting invisible
 	// in the results).
 	SimWorkers int
+	// MaxQueued bounds how many jobs may wait for a scheduler slot beyond
+	// the MaxConcurrent executing ones. Past the bound the engine sheds
+	// load immediately with ErrSaturated (HTTP 503 + Retry-After) instead
+	// of accepting an unbounded backlog whose tail would time out anyway.
+	// Zero selects the default 8×MaxConcurrent; negative means unbounded
+	// (the historical behaviour).
+	MaxQueued int
 }
 
 func (o Options) withDefaults() Options {
@@ -73,8 +80,16 @@ func (o Options) withDefaults() Options {
 	if o.SimWorkers == 0 {
 		o.SimWorkers = 1
 	}
+	if o.MaxQueued == 0 {
+		o.MaxQueued = 8 * o.MaxConcurrent
+	}
 	return o
 }
+
+// ErrSaturated reports that the scheduler's wait queue is full: the job
+// was rejected without queueing. Clients should retry after a short
+// backoff (the HTTP layer maps this to 503 with a Retry-After header).
+var ErrSaturated = errors.New("service: scheduler saturated, retry later")
 
 // Engine is the shared evaluation engine. It is safe for concurrent use;
 // construct it once per process with NewEngine.
@@ -93,6 +108,10 @@ type Engine struct {
 
 	// sem is the bounded job scheduler: one slot per executing job.
 	sem chan struct{}
+	// queue bounds the waiting set behind sem: a job must claim a queue
+	// token before it may block on a scheduler slot, and a full queue is an
+	// immediate ErrSaturated. nil means an unbounded queue (MaxQueued < 0).
+	queue chan struct{}
 
 	evals        atomic.Uint64
 	optCalls     atomic.Uint64
@@ -102,13 +121,20 @@ type Engine struct {
 	mlSimCalls   atomic.Uint64
 	mlSweepCalls atomic.Uint64
 	inFlight     atomic.Int64
+	queued       atomic.Int64
 	cancelled    atomic.Uint64
+	saturated    atomic.Uint64
 }
 
 // NewEngine builds an engine with the given options.
 func NewEngine(opts Options) *Engine {
 	opts = opts.withDefaults()
+	var queue chan struct{}
+	if opts.MaxQueued > 0 {
+		queue = make(chan struct{}, opts.MaxQueued)
+	}
 	return &Engine{
+		queue:       queue,
 		opts:        opts,
 		frozen:      newLRU[*core.Frozen](opts.FrozenCacheSize),
 		optimizes:   newLRU[optimize.PatternResult](opts.ResultCacheSize),
@@ -316,6 +342,70 @@ func (e *Engine) Sweep(ctx context.Context, models []core.Model, opts optimize.P
 	return v.([]SweepCell), shared, nil
 }
 
+// SweepStream solves the same warm-start axis as Sweep but hands each
+// cell to emit as soon as it is solved, instead of materializing the
+// whole axis first: the first row of a long sweep reaches the client
+// while the chain is still running, and a client hang-up (ctx cancelled
+// or emit returning an error) stops the chain at the next cell instead
+// of solving the rest for nobody. The per-cell cache namespaces are
+// identical to Sweep's, so the two paths warm each other; there is no
+// single-flight — an incremental stream has no whole-axis result for a
+// second request to attach to.
+//
+// emit runs on the caller's goroutine while the chain holds its one
+// scheduler slot; a non-nil emit error aborts the sweep and is returned
+// verbatim.
+func (e *Engine) SweepStream(ctx context.Context, models []core.Model, opts optimize.PatternOptions, cold bool, emit func(i int, c SweepCell) error) error {
+	e.sweepCalls.Add(1)
+	if len(models) == 0 {
+		return errors.New("service: sweep needs at least one cell")
+	}
+	if len(models) > maxSweepKeyModels {
+		return fmt.Errorf("service: sweep of %d cells exceeds the %d-cell limit", len(models), maxSweepKeyModels)
+	}
+	ns := "#swopt#"
+	if cold {
+		ns = "#opt#"
+	}
+	ok := optionsKey(opts)
+	keys := make([]string, len(models))
+	for i, m := range models {
+		mk, err := m.CacheKey()
+		if err != nil {
+			return err
+		}
+		keys[i] = mk + ns + ok
+	}
+	if err := e.acquire(ctx); err != nil {
+		e.countCancelled(err)
+		return err
+	}
+	defer e.release()
+	solver := optimize.NewSweepSolver(optimize.SweepOptions{PatternOptions: opts, Cold: cold})
+	for i, m := range models {
+		if err := ctx.Err(); err != nil {
+			e.countCancelled(err)
+			return err
+		}
+		var cell SweepCell
+		if r, ok := e.optimizes.Get(keys[i]); ok {
+			solver.Observe(m, r)
+			cell = SweepCell{Result: r, Cached: true}
+		} else {
+			r, err := solver.Solve(m)
+			if err != nil {
+				return fmt.Errorf("service: sweep cell %d: %w", i, err)
+			}
+			e.optimizes.Add(keys[i], r)
+			cell = SweepCell{Result: r}
+		}
+		if err := emit(i, cell); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // countCancelled maintains the operator-facing cancellation counter: only
 // genuine cancellations count, not arbitrary errors that happen to race a
 // client hang-up.
@@ -375,8 +465,31 @@ func (e *Engine) Simulate(ctx context.Context, m core.Model, t, p float64, cfg s
 	return v.(sim.RunResult), shared, nil
 }
 
-// acquire blocks until a scheduler slot is free or ctx is done.
+// acquire claims a scheduler slot: immediately if one is free, otherwise
+// by waiting in the bounded queue until a slot frees or ctx is done. A
+// full queue fails fast with ErrSaturated — under overload the honest
+// answer is "retry later", not an ever-longer line whose tail times out
+// after holding client connections open.
 func (e *Engine) acquire(ctx context.Context) error {
+	// Fast path: a free slot never touches the queue bound, so an idle
+	// engine admits MaxConcurrent jobs regardless of MaxQueued.
+	select {
+	case e.sem <- struct{}{}:
+		e.inFlight.Add(1)
+		return nil
+	default:
+	}
+	if e.queue != nil {
+		select {
+		case e.queue <- struct{}{}:
+		default:
+			e.saturated.Add(1)
+			return ErrSaturated
+		}
+		defer func() { <-e.queue }()
+	}
+	e.queued.Add(1)
+	defer e.queued.Add(-1)
 	select {
 	case e.sem <- struct{}{}:
 		e.inFlight.Add(1)
@@ -402,8 +515,11 @@ type Stats struct {
 	MultilevelSweepCalls    uint64     `json:"multilevel_sweep_calls"`
 	Deduplicated            uint64     `json:"deduplicated"`
 	Cancelled               uint64     `json:"cancelled"`
+	Saturated               uint64     `json:"saturated"`
 	InFlight                int64      `json:"in_flight"`
+	Queued                  int64      `json:"queued"`
 	MaxConcurrent           int        `json:"max_concurrent"`
+	MaxQueued               int        `json:"max_queued"`
 	FrozenCache             CacheStats `json:"frozen_cache"`
 	OptimizeCache           CacheStats `json:"optimize_cache"`
 	SimulateCache           CacheStats `json:"simulate_cache"`
@@ -423,8 +539,11 @@ func (e *Engine) Stats() Stats {
 		MultilevelSweepCalls:    e.mlSweepCalls.Load(),
 		Deduplicated:            e.flight.Deduped(),
 		Cancelled:               e.cancelled.Load(),
+		Saturated:               e.saturated.Load(),
 		InFlight:                e.inFlight.Load(),
+		Queued:                  e.queued.Load(),
 		MaxConcurrent:           e.opts.MaxConcurrent,
+		MaxQueued:               e.opts.MaxQueued,
 		FrozenCache:             e.frozen.Stats(),
 		OptimizeCache:           e.optimizes.Stats(),
 		SimulateCache:           e.sims.Stats(),

@@ -304,6 +304,88 @@ func TestEngineSchedulerBound(t *testing.T) {
 	}
 }
 
+// A full wait queue sheds load immediately with ErrSaturated instead of
+// queueing without bound; draining the queue restores admission.
+func TestEngineSaturationShedsLoad(t *testing.T) {
+	e := NewEngine(Options{MaxConcurrent: 1, MaxQueued: 1})
+
+	// Occupy the only executing slot.
+	if err := e.acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	// Fill the one queue slot with a waiter parked on the scheduler.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	waiter := make(chan error, 1)
+	go func() { waiter <- e.acquire(ctx) }()
+	deadline := time.Now().Add(5 * time.Second)
+	for e.Stats().Queued == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("waiter never queued")
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+
+	// Queue full: the next job must be rejected at once, not block.
+	if err := e.acquire(context.Background()); !errors.Is(err, ErrSaturated) {
+		t.Fatalf("acquire on a full queue returned %v, want ErrSaturated", err)
+	}
+	st := e.Stats()
+	if st.Saturated != 1 {
+		t.Errorf("Saturated = %d, want 1", st.Saturated)
+	}
+	if st.Queued != 1 || st.InFlight != 1 {
+		t.Errorf("Queued/InFlight = %d/%d, want 1/1", st.Queued, st.InFlight)
+	}
+	if st.MaxQueued != 1 {
+		t.Errorf("MaxQueued = %d, want 1", st.MaxQueued)
+	}
+
+	// Freeing the slot admits the queued waiter...
+	e.release()
+	if err := <-waiter; err != nil {
+		t.Fatalf("queued waiter failed: %v", err)
+	}
+	// ...and with the queue drained, admission works again.
+	e.release()
+	if err := e.acquire(context.Background()); err != nil {
+		t.Fatalf("acquire after drain failed: %v", err)
+	}
+	e.release()
+}
+
+// A negative MaxQueued disables shedding: waiters queue without bound
+// (the historical behaviour) and leave when their context is cancelled.
+func TestEngineUnboundedQueue(t *testing.T) {
+	e := NewEngine(Options{MaxConcurrent: 1, MaxQueued: -1})
+	if err := e.acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	const waiters = 8
+	ctx, cancel := context.WithCancel(context.Background())
+	errs := make(chan error, waiters)
+	for i := 0; i < waiters; i++ {
+		go func() { errs <- e.acquire(ctx) }()
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for e.Stats().Queued < waiters {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d of %d waiters queued", e.Stats().Queued, waiters)
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	if n := e.Stats().Saturated; n != 0 {
+		t.Errorf("unbounded queue shed %d jobs", n)
+	}
+	cancel()
+	for i := 0; i < waiters; i++ {
+		if err := <-errs; !errors.Is(err, context.Canceled) {
+			t.Errorf("cancelled waiter returned %v", err)
+		}
+	}
+	e.release()
+}
+
 func TestLRUEvictsLeastRecentlyUsed(t *testing.T) {
 	c := newLRU[int](lruShards) // one entry per shard
 	// Fill one shard's slot then displace it.

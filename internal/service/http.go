@@ -351,19 +351,28 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 }
 
 func writeErr(w http.ResponseWriter, status int, err error) {
+	if status == http.StatusServiceUnavailable {
+		// Saturation is transient by construction (the queue drains at
+		// MaxConcurrent jobs at a time); tell well-behaved clients when to
+		// come back instead of leaving them to guess a backoff.
+		w.Header().Set("Retry-After", "1")
+	}
 	writeJSON(w, status, apiError{Error: err.Error()})
 }
 
 // statusFor maps engine errors onto HTTP statuses: cancelled requests map
 // to 499 (client closed request, nginx convention — the client is gone
-// anyway), patterns too failure-dominated to simulate to 422, and
-// everything else to 400: every remaining error the engine returns is
-// parameter-driven (bad model, search box, campaign config) — internal
-// invariant violations would surface as panics, not errors.
+// anyway), a saturated scheduler to 503 (retry later — the request was
+// fine, the server is full), patterns too failure-dominated to simulate
+// to 422, and everything else to 400: every remaining error the engine
+// returns is parameter-driven (bad model, search box, campaign config) —
+// internal invariant violations would surface as panics, not errors.
 func statusFor(ctx context.Context, err error) int {
 	switch {
 	case errors.Is(err, context.Canceled) && ctx.Err() != nil:
 		return 499
+	case errors.Is(err, ErrSaturated):
+		return http.StatusServiceUnavailable
 	case errors.Is(err, sim.ErrErrorPressure):
 		return http.StatusUnprocessableEntity
 	default:
@@ -548,7 +557,35 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		}
 		models[i] = m
 	}
-	var rows []SweepRow
+	// True streaming: each NDJSON row is written (and flushed) the moment
+	// its cell is solved, so the first row of a long axis reaches the
+	// client while the chain is still running, and a mid-stream hang-up
+	// stops the chain instead of solving the rest for nobody. Rows are
+	// marshalled individually so one unrepresentable value (a non-finite
+	// overhead) degrades that row to an error line instead of truncating
+	// the stream silently.
+	flusher, _ := w.(http.Flusher)
+	wrote := false
+	writeRow := func(i int, row SweepRow) error {
+		buf, err := json.Marshal(row)
+		if err != nil {
+			buf, _ = json.Marshal(apiError{Error: fmt.Sprintf("cell %d not representable in JSON: %v", i, err)})
+		}
+		if !wrote {
+			w.Header().Set("Content-Type", "application/x-ndjson")
+			w.WriteHeader(http.StatusOK)
+			wrote = true
+		}
+		buf = append(buf, '\n')
+		if _, err := w.Write(buf); err != nil {
+			return errClientGone
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		return nil
+	}
+	var err error
 	if req.Multilevel != nil {
 		// The two-level axis: the segment length is closed-form at every
 		// (K, P), so period search bounds have no meaning here — reject
@@ -561,69 +598,57 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		mlOpts := multilevel.PatternOptions{
 			PMin: req.Options.PMin, PMax: req.Options.PMax, IntegerP: req.Options.IntegerP,
 		}
-		cells, _, err := s.engine.MultilevelSweep(r.Context(), models, req.Multilevel.fraction(), mlOpts, req.Cold)
-		if err != nil {
-			writeErr(w, statusFor(r.Context(), err), err)
-			return
-		}
-		rows = make([]SweepRow, len(cells))
-		for i, c := range cells {
-			rows[i] = SweepRow{
-				X:        req.Values[i],
-				T:        c.Result.T,
-				K:        c.Result.K,
-				P:        c.Result.P,
-				Overhead: c.Result.PredictedH,
-				Method:   "multilevel",
-				AtPBound: c.Result.AtPBound,
-				Evals:    c.Result.Evals,
-				Warm:     c.Result.Warm,
-				Cached:   c.Cached,
-			}
-		}
+		err = s.engine.MultilevelSweepStream(r.Context(), models, req.Multilevel.fraction(), mlOpts, req.Cold,
+			func(i int, c MultilevelSweepCell) error {
+				return writeRow(i, SweepRow{
+					X:        req.Values[i],
+					T:        c.Result.T,
+					K:        c.Result.K,
+					P:        c.Result.P,
+					Overhead: c.Result.PredictedH,
+					Method:   "multilevel",
+					AtPBound: c.Result.AtPBound,
+					Evals:    c.Result.Evals,
+					Warm:     c.Result.Warm,
+					Cached:   c.Cached,
+				})
+			})
 	} else {
-		cells, _, err := s.engine.Sweep(r.Context(), models, req.Options.pattern(), req.Cold)
-		if err != nil {
+		err = s.engine.SweepStream(r.Context(), models, req.Options.pattern(), req.Cold,
+			func(i int, c SweepCell) error {
+				return writeRow(i, SweepRow{
+					X:        req.Values[i],
+					T:        c.Result.T,
+					P:        c.Result.P,
+					Overhead: c.Result.Overhead,
+					Method:   c.Result.Method,
+					Class:    c.Result.Class.String(),
+					AtPBound: c.Result.AtPBound,
+					Evals:    c.Result.Evals,
+					Warm:     c.Result.Warm,
+					Cached:   c.Cached,
+				})
+			})
+	}
+	if err != nil {
+		if errors.Is(err, errClientGone) {
+			return // nobody left to tell
+		}
+		if !wrote {
 			writeErr(w, statusFor(r.Context(), err), err)
 			return
 		}
-		rows = make([]SweepRow, len(cells))
-		for i, c := range cells {
-			rows[i] = SweepRow{
-				X:        req.Values[i],
-				T:        c.Result.T,
-				P:        c.Result.P,
-				Overhead: c.Result.Overhead,
-				Method:   c.Result.Method,
-				Class:    c.Result.Class.String(),
-				AtPBound: c.Result.AtPBound,
-				Evals:    c.Result.Evals,
-				Warm:     c.Result.Warm,
-				Cached:   c.Cached,
-			}
-		}
-	}
-	// The whole axis solved: stream one NDJSON row per cell. Rows are
-	// marshalled individually so one unrepresentable value (a non-finite
-	// overhead) degrades that row to an error line instead of truncating
-	// the stream silently.
-	w.Header().Set("Content-Type", "application/x-ndjson")
-	w.WriteHeader(http.StatusOK)
-	flusher, _ := w.(http.Flusher)
-	for i, row := range rows {
-		buf, err := json.Marshal(row)
-		if err != nil {
-			buf, _ = json.Marshal(apiError{Error: fmt.Sprintf("cell %d not representable in JSON: %v", i, err)})
-		}
-		buf = append(buf, '\n')
-		if _, err := w.Write(buf); err != nil {
-			return // client hung up mid-stream
-		}
-		if flusher != nil {
-			flusher.Flush()
-		}
+		// Rows already went out, so the status line is spent; degrade to a
+		// trailing error line so the client sees why the stream is short.
+		buf, _ := json.Marshal(apiError{Error: err.Error()})
+		_, _ = w.Write(append(buf, '\n'))
 	}
 }
+
+// errClientGone marks a response write that failed because the client
+// hung up mid-stream: the sweep chain stops, and there is no one left to
+// send an error to.
+var errClientGone = errors.New("service: client hung up mid-stream")
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.engine.Stats())

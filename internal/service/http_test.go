@@ -314,3 +314,60 @@ func TestServeSimulateCancellableViaRequestContext(t *testing.T) {
 func failuresWeibull(lambdaInd, shape float64) (failures.Distribution, error) {
 	return failures.ParseDistribution("weibull", shape, lambdaInd)
 }
+
+// A saturated scheduler surfaces as 503 with a Retry-After header, and
+// the shed request never blocks behind the backlog.
+func TestServeSaturationReturns503(t *testing.T) {
+	srv := NewServer(NewEngine(Options{MaxConcurrent: 1, MaxQueued: 1}))
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	e := srv.Engine()
+
+	// Occupy the only executing slot, then park a waiter in the one queue
+	// slot so the next request finds the scheduler full.
+	if err := e.acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	defer e.release()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	waiter := make(chan error, 1)
+	go func() { waiter <- e.acquire(ctx) }()
+	deadline := time.Now().Add(5 * time.Second)
+	for e.Stats().Queued == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("waiter never queued")
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+
+	buf, _ := json.Marshal(OptimizeRequest{Model: ModelSpec{Platform: "hera", Scenario: 1}})
+	resp, err := http.Post(ts.URL+"/v1/optimize", "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status %d, want 503", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" {
+		t.Error("503 carries no Retry-After header")
+	}
+	var apiErr apiError
+	if err := json.NewDecoder(resp.Body).Decode(&apiErr); err != nil {
+		t.Fatal(err)
+	}
+	if apiErr.Error == "" {
+		t.Error("503 carries no error body")
+	}
+	if st := e.Stats(); st.Saturated == 0 {
+		t.Errorf("saturation not counted: %+v", st)
+	}
+
+	// Stats must expose the queue configuration for operators.
+	if st := e.Stats(); st.MaxQueued != 1 || st.Queued != 1 {
+		t.Errorf("MaxQueued/Queued = %d/%d, want 1/1", st.MaxQueued, st.Queued)
+	}
+	cancel()
+	<-waiter
+}

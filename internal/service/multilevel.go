@@ -219,6 +219,66 @@ func (e *Engine) MultilevelSweep(ctx context.Context, models []core.Model, frac 
 	return v.([]MultilevelSweepCell), shared, nil
 }
 
+// MultilevelSweepStream is the streaming counterpart of MultilevelSweep,
+// with the same contract as SweepStream: each cell reaches emit as soon
+// as the two-level chain solves it, a cancelled ctx or emit error stops
+// the chain at the next cell, cache namespaces are shared with the batch
+// path, and there is no single-flight.
+func (e *Engine) MultilevelSweepStream(ctx context.Context, models []core.Model, frac float64, opts multilevel.PatternOptions, cold bool, emit func(i int, c MultilevelSweepCell) error) error {
+	e.mlSweepCalls.Add(1)
+	if len(models) == 0 {
+		return errors.New("service: sweep needs at least one cell")
+	}
+	if len(models) > maxSweepKeyModels {
+		return fmt.Errorf("service: sweep of %d cells exceeds the %d-cell limit", len(models), maxSweepKeyModels)
+	}
+	if err := validateFraction(frac); err != nil {
+		return err
+	}
+	ns := "#" + mlKeyVersion + "swopt#"
+	if cold {
+		ns = "#" + mlKeyVersion + "opt#"
+	}
+	fk := core.FormatFloatKey(frac)
+	ok := mlOptionsKey(opts)
+	keys := make([]string, len(models))
+	for i, m := range models {
+		mk, err := m.CacheKey()
+		if err != nil {
+			return err
+		}
+		keys[i] = mk + ns + fk + "#" + ok
+	}
+	if err := e.acquire(ctx); err != nil {
+		e.countCancelled(err)
+		return err
+	}
+	defer e.release()
+	solver := multilevel.NewSweepSolver(multilevel.SweepOptions{PatternOptions: opts, Cold: cold})
+	for i, m := range models {
+		if err := ctx.Err(); err != nil {
+			e.countCancelled(err)
+			return err
+		}
+		var cell MultilevelSweepCell
+		if r, ok := e.mlOptimizes.Get(keys[i]); ok {
+			solver.Observe(r)
+			cell = MultilevelSweepCell{Result: r, Cached: true}
+		} else {
+			r, err := solver.Solve(m, multilevel.InMemoryFraction(m, frac))
+			if err != nil {
+				return fmt.Errorf("service: multilevel sweep cell %d: %w", i, err)
+			}
+			e.mlOptimizes.Add(keys[i], r)
+			cell = MultilevelSweepCell{Result: r}
+		}
+		if err := emit(i, cell); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // ---------------------------------------------------------------------
 // HTTP surface.
 // ---------------------------------------------------------------------

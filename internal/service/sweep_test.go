@@ -7,7 +7,10 @@ import (
 	"encoding/json"
 	"math"
 	"net/http"
+	"net/http/httptest"
+	"runtime"
 	"testing"
+	"time"
 
 	"amdahlyd/internal/core"
 	"amdahlyd/internal/costmodel"
@@ -199,4 +202,103 @@ func TestSweepHTTPValidation(t *testing.T) {
 			t.Errorf("%s: status %d, want %d", tc.name, resp.StatusCode, tc.want)
 		}
 	}
+}
+
+// waitNoExtraGoroutines polls until the goroutine count returns to its
+// baseline (plus scheduler slack): a hand-rolled leak check — transport,
+// handler and sweep-chain goroutines must all wind down.
+func waitNoExtraGoroutines(t *testing.T, before int) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= before+3 {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutines leaked: %d running, baseline %d\n%s",
+				runtime.NumGoroutine(), before, buf[:n])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestSweepHTTPClientHangUpMidStream pins the streaming contract: a
+// client that reads a few NDJSON rows and hangs up stops the solver
+// chain promptly — the remaining cells are never solved — and no
+// goroutines are left behind.
+func TestSweepHTTPClientHangUpMidStream(t *testing.T) {
+	srv := NewServer(NewEngine(Options{}))
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+
+	before := runtime.NumGoroutine()
+
+	const cells = 512
+	values := make([]float64, cells)
+	for i := range values {
+		values[i] = 1e-11 * (1 + float64(i)/cells)
+	}
+	body := map[string]any{
+		"model":  map[string]any{"platform": "hera", "scenario": 3},
+		"axis":   "lambda",
+		"values": values,
+		// Cold cells pay the full grid scan, making the chain slow enough
+		// that the hang-up demonstrably lands mid-axis.
+		"cold": true,
+	}
+	buf, _ := json.Marshal(body)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, ts.URL+"/v1/sweep", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := &http.Client{}
+	resp, err := client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The first rows arrive while the chain is still solving the rest —
+	// that they can be read at all before completion is the streaming
+	// behaviour under test.
+	sc := bufio.NewScanner(resp.Body)
+	rows := 0
+	for rows < 2 && sc.Scan() {
+		var row SweepRow
+		if err := json.Unmarshal(sc.Bytes(), &row); err != nil {
+			t.Fatalf("bad row %q: %v", sc.Text(), err)
+		}
+		rows++
+	}
+	if rows != 2 {
+		t.Fatalf("stream ended after %d rows: %v", rows, sc.Err())
+	}
+	cancel() // hang up mid-stream
+	resp.Body.Close()
+
+	// The engine must notice and drain promptly.
+	e := srv.Engine()
+	deadline := time.Now().Add(10 * time.Second)
+	for e.Stats().InFlight != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("sweep still in flight after hang-up: %+v", e.Stats())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	// The chain stopped short of the axis, and stays stopped: every solved
+	// cold cell is one optimize-cache entry.
+	solved := e.Stats().OptimizeCache.Entries
+	if solved >= cells {
+		t.Errorf("all %d cells solved despite the hang-up", cells)
+	}
+	time.Sleep(50 * time.Millisecond)
+	if after := e.Stats().OptimizeCache.Entries; after != solved {
+		t.Errorf("cells kept solving after the drain: %d -> %d", solved, after)
+	}
+
+	client.CloseIdleConnections()
+	ts.Close()
+	waitNoExtraGoroutines(t, before)
 }

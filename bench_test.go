@@ -14,6 +14,7 @@ import (
 	"amdahlyd/internal/costmodel"
 	"amdahlyd/internal/experiments"
 	"amdahlyd/internal/failures"
+	"amdahlyd/internal/hetero"
 	"amdahlyd/internal/multilevel"
 	"amdahlyd/internal/optimize"
 	"amdahlyd/internal/platform"
@@ -404,6 +405,52 @@ func BenchmarkMultilevelCampaign(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// heteroBenchModel compiles the Hera-derived two-group study topology at
+// the given comm coefficient — the per-cell unit of the hetero campaign.
+func heteroBenchModel(b *testing.B, comm float64) core.HeteroModel {
+	b.Helper()
+	tp := experiments.HeteroStudyTopology(platform.Hera(), comm, 0.25)
+	hm, err := hetero.CompileTopology(tp, costmodel.Scenario1, 0.1, 3600)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return hm
+}
+
+// BenchmarkHeteroOptimize measures the cold joint heterogeneous solve —
+// active-set scan, per-group (T, P) optima, harmonic work split — the
+// per-cell unit of every hetero sweep and of /v1/hetero/optimize. Gated
+// by scripts/bench.sh -compare.
+func BenchmarkHeteroOptimize(b *testing.B) {
+	hm := heteroBenchModel(b, 1e-5)
+	for i := 0; i < b.N; i++ {
+		if _, err := hetero.OptimalPattern(hm, hetero.PatternOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkHeteroSweep measures the warm-started comm-axis chain (the
+// campaign/service sweep unit): a fresh SweepSolver walks the default
+// comm grid, so the amortized ns/cell includes one cold anchor plus the
+// warm bracket solves. Gated by scripts/bench.sh -compare.
+func BenchmarkHeteroSweep(b *testing.B) {
+	models := make([]core.HeteroModel, len(experiments.DefaultHeteroComms))
+	for i, comm := range experiments.DefaultHeteroComms {
+		models[i] = heteroBenchModel(b, comm)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := hetero.NewSweepSolver(hetero.SweepOptions{})
+		for _, hm := range models {
+			if _, err := s.Solve(hm); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*len(models)), "ns/cell")
 }
 
 // ---------------------------------------------------------------------

@@ -31,6 +31,15 @@
 //	amdahl-exp multilevel -quick
 //	amdahl-exp multilevel -scenario 3 -frac 0.0667,0.2
 //
+// The hetero subcommand runs the heterogeneous-platform study: a CPU
+// platform plus a derived accelerator group (8× faster, 50× less
+// reliable), jointly optimized over active groups, work split and
+// per-group patterns, swept over the inter-group comm term and the
+// accelerator size (DESIGN.md, "Heterogeneous topologies"):
+//
+//	amdahl-exp hetero -quick
+//	amdahl-exp hetero -scenario 1 -comm 0,1e-5 -split 0.25
+//
 // The campaign subcommand is the crash-safe grid orchestrator: a
 // declarative manifest (or a built-in preset mirroring the five studies)
 // expands into a deterministic cell grid, every completed cell is banked
@@ -74,6 +83,8 @@ func main() {
 		err = runRobustness(ctx, args[1:])
 	case len(args) > 0 && args[0] == "multilevel":
 		err = runMultilevel(ctx, args[1:])
+	case len(args) > 0 && args[0] == "hetero":
+		err = runHetero(ctx, args[1:])
 	case len(args) > 0 && args[0] == "campaign":
 		err = runCampaign(ctx, args[1:])
 	default:
@@ -225,6 +236,82 @@ func runMultilevel(ctx context.Context, args []string) error {
 		return writeCSV(*outDir, "multilevel", res)
 	}
 	return nil
+}
+
+// runHetero drives the heterogeneous-platform study (extension beyond
+// the paper; see DESIGN.md, "Heterogeneous topologies"): the joint
+// optimum over active groups, work split and per-group patterns for a
+// CPU platform plus a derived accelerator group, swept over the
+// inter-group comm term and the accelerator size, priced by Monte-Carlo
+// against the CPU-only optimum.
+func runHetero(ctx context.Context, args []string) error {
+	fs := flag.NewFlagSet("amdahl-exp hetero", flag.ContinueOnError)
+	platName := fs.String("platform", "hera", "CPU platform supplying rates and costs (the accelerator group is derived from it)")
+	comms := fs.String("comm", "", "comma-separated inter-group comm coefficients κ (default 0,1e-6,3e-6,1e-5,3e-5,1e-4)")
+	splits := fs.String("split", "", "comma-separated accelerator sizes as fractions of the CPU size (default 0.0625,0.25,1)")
+	scenario := fs.Int("scenario", 0, "restrict to one Table III scenario 1-6 (0 = scenarios 1,3,5)")
+	quick := fs.Bool("quick", false, "reduced Monte-Carlo budget (~100× faster)")
+	outDir := fs.String("out", "", "directory for CSV output (optional)")
+	seed := fs.Uint64("seed", 1, "random seed")
+	runs := fs.Int("runs", 0, "override Monte-Carlo runs per point")
+	patterns := fs.Int("patterns", 0, "override patterns per run")
+	warm := fs.Bool("warm", true, "warm-start the per-(scenario, split) chains along the comm axis; -warm=false restores per-cell full-box scans")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("unexpected argument %q", fs.Arg(0))
+	}
+	pl, err := platform.Lookup(*platName)
+	if err != nil {
+		return err
+	}
+	cfg := buildConfig(*quick, *seed, *runs, *patterns)
+	cfg.ColdSolve = !*warm
+	commList, err := parseFloats(*comms)
+	if err != nil {
+		return fmt.Errorf("-comm: %w", err)
+	}
+	splitList, err := parseFloats(*splits)
+	if err != nil {
+		return fmt.Errorf("-split: %w", err)
+	}
+	var scenarios []costmodel.Scenario
+	if *scenario != 0 {
+		sc := costmodel.Scenario(*scenario)
+		if !sc.Valid() {
+			return fmt.Errorf("scenario %d outside 1-6", *scenario)
+		}
+		scenarios = []costmodel.Scenario{sc}
+	}
+	res, err := experiments.HeterogeneousStudyContext(ctx, pl, commList, splitList, scenarios, cfg)
+	if err != nil {
+		return err
+	}
+	if err := res.Render(os.Stdout); err != nil {
+		return err
+	}
+	if *outDir != "" {
+		return writeCSV(*outDir, "hetero", res)
+	}
+	return nil
+}
+
+// parseFloats parses a comma-separated list of floats ("" = nil, which
+// selects a study's default axis).
+func parseFloats(s string) ([]float64, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		f, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad value %q: %w", part, err)
+		}
+		out = append(out, f)
+	}
+	return out, nil
 }
 
 // renderable is the common surface of every figure result.

@@ -17,8 +17,13 @@
 //   - internal/multilevel — the two-level pattern extension (future
 //     work in the paper's Section V), end-to-end: joint (T, K, P)
 //     optimizer, warm-start sweep solver and parallel campaigns;
+//   - internal/hetero — heterogeneous platform topologies: per-group
+//     compilation of a platform.Topology and the joint work-split
+//     optimizer with its own warm-start sweep solver;
 //   - internal/service — the long-running evaluation service behind
 //     cmd/amdahl-serve;
+//   - internal/campaign — the crash-safe, resumable grid orchestrator
+//     behind "amdahl-exp campaign";
 //   - substrates: speedup, costmodel, platform, failures, rng, stats,
 //     xmath, report.
 //
@@ -87,6 +92,29 @@
 // the "multilevel" axis switch on /v1/sweep, cached under the
 // versioned ml1| key namespace. See DESIGN.md, "Multilevel
 // end-to-end".
+//
+// # Heterogeneous platform topologies
+//
+// The paper's platform is P interchangeable processors with one failure
+// law and one checkpoint cost. platform.Topology generalizes it to
+// named groups — per-group error rate, speed, size and checkpoint/
+// verification costs, plus one inter-group comm coefficient — and
+// hetero.CompileTopology lowers a topology to a core.HeteroModel whose
+// groups are ordinary Models (comm enters as an AmdahlComm speedup
+// profile, versioned under the hg1| cache-key namespace). A one-group
+// zero-comm topology compiles bit-identically to the classical Model.
+// hetero.OptimalPattern answers the joint question: which groups to
+// activate, how to split the work (harmonic in the per-group effective
+// overheads), and each group's own (T, P) — warm-started along smooth
+// axes by hetero.SweepSolver over per-(group, active-count) chains.
+// Group-shaped platform work goes through platform.Topology +
+// hetero.SweepSolver, not ad-hoc per-group loops. The study driver is
+// experiments.HeterogeneousStudy ("amdahl-exp hetero"); the service
+// endpoints are /v1/hetero/optimize, /v1/hetero/simulate and the
+// "hetero" switch on /v1/sweep; the campaign preset is "hetero" (comm
+// axis). sim.SimulateHetero prices a joint plan on the shared chunked
+// runner, scoring each run by its makespan overhead max_g x_g·H_g. See
+// DESIGN.md, "Heterogeneous topologies".
 //
 // # Service layer
 //

@@ -1,0 +1,115 @@
+// Heterogeneous topology study (extension beyond the paper, cf. its
+// Section VI): the paper's platforms are homogeneous, but real machines
+// pair reliable CPU tiles with faster, failure-prone accelerators. When
+// the platform is a topology of groups — each with its own error rate,
+// speed, and checkpoint costs — does splitting work across groups beat
+// the best homogeneous pattern, and how fast does inter-group
+// communication eat the advantage?
+//
+// The program builds the Hera-derived two-group study topology (CPU
+// tiles plus a 50×-less-reliable, 8×-faster accelerator quarter), sweeps
+// the comm coefficient through a warm-started hetero.SweepSolver chain,
+// and compares the joint per-group optimum against the homogeneous
+// single-level baseline on the CPU group alone.
+//
+//	go run ./examples/heterostudy
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"amdahlyd/internal/costmodel"
+	"amdahlyd/internal/experiments"
+	"amdahlyd/internal/hetero"
+	"amdahlyd/internal/optimize"
+	"amdahlyd/internal/platform"
+	"amdahlyd/internal/report"
+)
+
+func main() {
+	pl := platform.Hera()
+	const alpha, downtime = 0.1, 3600.0
+	sc := costmodel.Scenario1
+
+	// Homogeneous baseline: the paper's single-level optimum on the CPU
+	// tiles alone (no accelerator, no comm charge).
+	base, err := experiments.BuildModel(pl, sc, alpha, downtime)
+	if err != nil {
+		log.Fatal(err)
+	}
+	single, err := optimize.OptimalPattern(base, optimize.PatternOptions{IntegerP: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Comm sweep on the two-group topology, warm-started along the axis
+	// exactly like the campaign executor does.
+	solver := hetero.NewSweepSolver(hetero.SweepOptions{
+		PatternOptions: hetero.PatternOptions{
+			PatternOptions: optimize.PatternOptions{IntegerP: true},
+		},
+	})
+	var het, hom report.Series
+	het.Name = "heterogeneous joint optimum"
+	hom.Name = "homogeneous CPU baseline"
+	tb := report.NewTable(
+		fmt.Sprintf("Joint optimum vs comm coefficient on %s+accel (scenario 1, α=%g)", pl.Name, alpha),
+		"comm", "G", "P total", "accel share", "H hetero", "H single", "gain")
+	for _, comm := range experiments.DefaultHeteroComms {
+		tp := experiments.HeteroStudyTopology(pl, comm, 0.25)
+		hm, err := hetero.CompileTopology(tp, sc, alpha, downtime)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := solver.Solve(hm)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var totalP, accelFrac float64
+		for _, g := range res.Groups {
+			totalP += g.P
+			if tp.Groups[g.Group].Name == "accel" {
+				accelFrac = g.Fraction
+			}
+		}
+		het.Add(comm, res.Overhead)
+		hom.Add(comm, single.Overhead)
+		if err := tb.AddRow(
+			report.Fmt(comm),
+			fmt.Sprintf("%d", res.Active),
+			report.Fmt(totalP),
+			report.Fmt(accelFrac),
+			report.Fmt(res.Overhead),
+			report.Fmt(single.Overhead),
+			report.Fmt(single.Overhead-res.Overhead),
+		); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	chart := report.Chart{
+		Title:  fmt.Sprintf("Overhead vs inter-group comm on %s+accel (scenario 1)", pl.Name),
+		XLabel: "comm",
+		YLabel: "H",
+	}
+	if err := chart.Render(os.Stdout, het, hom); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	if err := tb.Render(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+
+	st := solver.Stats()
+	fmt.Printf("\nHomogeneous optimum:  T* = %s s, P* = %s, H = %s\n",
+		report.Fmt(single.T), report.Fmt(single.P), report.Fmt(single.Overhead))
+	fmt.Printf("Sweep solver: %d warm / %d cold group solves, %d evals\n",
+		st.WarmSolves, st.ColdSolves, st.Evals)
+	fmt.Println("\nAt zero comm the accelerator absorbs most of the work at its own")
+	fmt.Println("shorter optimal period, beating the homogeneous pattern even at a 50×")
+	fmt.Println("error rate; as comm grows the charge acts like extra sequential")
+	fmt.Println("fraction, the split narrows, and past a threshold the optimum")
+	fmt.Println("concentrates on the single fastest group rather than pay for two.")
+}

@@ -31,12 +31,18 @@ type Artifact struct {
 	Protocol string `json:"protocol"`
 
 	// Solve phase: the (T[, K], P) optimum and its model prediction.
+	// Hetero cells leave T/P zero and record the per-group plan in
+	// Groups instead (additive, omitempty: older artifacts still verify).
 	T          float64 `json:"t"`
 	K          int     `json:"k,omitempty"`
 	P          float64 `json:"p"`
 	PredictedH float64 `json:"predicted_h"`
 	AtPBound   bool    `json:"at_p_bound,omitempty"`
 	Warm       bool    `json:"warm,omitempty"`
+
+	// Hetero solve phase: number of active groups and their plans.
+	G      int                   `json:"g,omitempty"`
+	Groups []HeteroGroupArtifact `json:"groups,omitempty"`
 
 	// Monte-Carlo phase. SimProcs is the integral allocation the
 	// machine-level simulator priced (0 for the pattern-level path).
@@ -48,6 +54,17 @@ type Artifact struct {
 	// Checksum is the hex SHA-256 of the artifact's canonical JSON with
 	// this field empty; a truncated or hand-edited file never verifies.
 	Checksum string `json:"checksum"`
+}
+
+// HeteroGroupArtifact is one group's share of a hetero cell's joint
+// optimum: which group, its work fraction, and its own (T, P) pattern.
+type HeteroGroupArtifact struct {
+	Group    int     `json:"group"`
+	Fraction float64 `json:"fraction"`
+	T        float64 `json:"t"`
+	P        float64 `json:"p"`
+	Overhead float64 `json:"overhead"`
+	AtPBound bool    `json:"at_p_bound,omitempty"`
 }
 
 // floatPtr boxes v for the JSON artifact, mapping NaN to nil.

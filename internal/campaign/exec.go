@@ -15,6 +15,7 @@ import (
 
 	"amdahlyd/internal/atomicio"
 	"amdahlyd/internal/core"
+	"amdahlyd/internal/hetero"
 	"amdahlyd/internal/multilevel"
 	"amdahlyd/internal/optimize"
 	"amdahlyd/internal/sim"
@@ -236,7 +237,7 @@ type chainSolver interface {
 }
 
 // solveResult is the protocol-independent slice of a solver result the
-// artifact records.
+// artifact records. Hetero solves leave T/P zero and fill Active/Plans.
 type solveResult struct {
 	T          float64
 	K          int
@@ -244,6 +245,8 @@ type solveResult struct {
 	PredictedH float64
 	AtPBound   bool
 	Warm       bool
+	Active     int
+	Plans      []hetero.GroupPlan
 }
 
 type singleSolver struct{ s *optimize.SweepSolver }
@@ -286,7 +289,44 @@ func (ms mlSolver) observe(c *Cell, a *Artifact) {
 	})
 }
 
+type heteroSolver struct{ s *hetero.SweepSolver }
+
+func (hs heteroSolver) solve(c *Cell) (solveResult, error) {
+	res, err := hs.s.Solve(c.Hetero)
+	if err != nil {
+		return solveResult{}, err
+	}
+	atBound := false
+	for _, g := range res.Groups {
+		atBound = atBound || g.AtPBound
+	}
+	return solveResult{PredictedH: res.Overhead, AtPBound: atBound,
+		Warm: res.Warm, Active: res.Active, Plans: res.Groups}, nil
+}
+
+func (hs heteroSolver) observe(c *Cell, a *Artifact) {
+	plans := make([]hetero.GroupPlan, len(a.Groups))
+	for i, g := range a.Groups {
+		plans[i] = hetero.GroupPlan{Group: g.Group, Fraction: g.Fraction,
+			T: g.T, P: g.P, GroupOverhead: g.Overhead, AtPBound: g.AtPBound}
+	}
+	hs.s.Observe(c.Hetero, hetero.PatternResult{
+		Groups: plans, Active: a.G, Overhead: a.PredictedH,
+	})
+}
+
 func (r *runner) newSolver(protocol string) chainSolver {
+	if protocol == ProtocolHetero {
+		// IntegerP for the same reason as multilevel below: integral
+		// per-group allocations keep warm and cold chains on the same
+		// cells, and the priced plan stays physical.
+		return heteroSolver{hetero.NewSweepSolver(hetero.SweepOptions{
+			PatternOptions: hetero.PatternOptions{
+				PatternOptions: optimize.PatternOptions{IntegerP: true},
+			},
+			Cold: r.man.ColdSolve,
+		})}
+	}
 	if protocol == ProtocolMultilevel {
 		// IntegerP keeps the joint optimum on integral allocations so
 		// warm and cold chains land on bit-identical cells (mirrors the
@@ -342,6 +382,14 @@ func (r *runner) runChain(ctx context.Context, chain []*Cell) {
 			PredictedH: res.PredictedH,
 			AtPBound:   res.AtPBound,
 			Warm:       res.Warm,
+		}
+		if len(res.Plans) > 0 {
+			a.G = res.Active
+			a.Groups = make([]HeteroGroupArtifact, len(res.Plans))
+			for i, gp := range res.Plans {
+				a.Groups[i] = HeteroGroupArtifact{Group: gp.Group, Fraction: gp.Fraction,
+					T: gp.T, P: gp.P, Overhead: gp.GroupOverhead, AtPBound: gp.AtPBound}
+			}
 		}
 		if err := r.price(ctx, c, &a); err != nil {
 			if ctx.Err() != nil {
@@ -460,6 +508,31 @@ func (r *runner) simulate(ctx context.Context, c *Cell, a *Artifact) error {
 		a.SimH, a.SimCI = nil, nil
 	}
 	switch {
+	case c.Protocol == ProtocolHetero:
+		groups := make([]sim.HeteroGroupRun, len(a.Groups))
+		for i, g := range a.Groups {
+			m, err := c.Hetero.ActiveModel(g.Group, a.G)
+			if err != nil {
+				return err
+			}
+			groups[i] = sim.HeteroGroupRun{Model: m, T: g.T, P: g.P, Fraction: g.Fraction}
+		}
+		res, err := sim.SimulateHeteroContext(ctx, groups, sim.RunConfig{
+			Runs:     r.man.Runs,
+			Patterns: r.man.Patterns,
+			Seed:     c.Seed,
+			Workers:  1,
+		})
+		if errors.Is(err, sim.ErrErrorPressure) {
+			markUnsimulable()
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		a.SimH, a.SimCI = floatPtr(res.Overhead.Mean), floatPtr(res.Overhead.CI95)
+		return nil
+
 	case c.Protocol == ProtocolMultilevel:
 		if a.AtPBound {
 			// The two-level simulator has no error-pressure escape at

@@ -17,6 +17,9 @@ const (
 	ProtocolSingle = "single"
 	// ProtocolMultilevel is the Section V two-level PATTERN(T, K, P).
 	ProtocolMultilevel = "multilevel"
+	// ProtocolHetero is the heterogeneous joint optimum over a topology
+	// of groups: active set, work split and per-group patterns.
+	ProtocolHetero = "hetero"
 )
 
 // Axis names for Manifest.Axis.
@@ -27,6 +30,9 @@ const (
 	AxisDowntime = "downtime"
 	AxisShape    = "shape"
 	AxisFraction = "frac"
+	// AxisComm sweeps the topology's inter-group communication
+	// coefficient κ; it requires the hetero protocol.
+	AxisComm = "comm"
 )
 
 // DistSpec selects a failure law for the Monte-Carlo phase. Shapes is
@@ -77,8 +83,13 @@ type Manifest struct {
 	Distributions []DistSpec `json:"distributions,omitempty"`
 	// Protocols lists the protocols to solve (default single-level).
 	Protocols []ProtocolSpec `json:"protocols,omitempty"`
+	// Topology is the heterogeneous platform the hetero protocol solves;
+	// required by (and only meaningful with) that protocol. The topology
+	// replaces the Platforms dimension: group membership is explicit, the
+	// axis can sweep the comm coefficient.
+	Topology *platform.Topology `json:"topology,omitempty"`
 	// Axis names the swept parameter ("alpha", "lambda", "downtime",
-	// "shape", "frac" or empty for a pure grid) and Values its
+	// "shape", "frac", "comm" or empty for a pure grid) and Values its
 	// coordinates in sweep order.
 	Axis   string    `json:"axis,omitempty"`
 	Values []float64 `json:"values,omitempty"`
@@ -108,6 +119,20 @@ func (m Manifest) downtime() float64 {
 	return defaultDowntime
 }
 
+// heteroOnly reports whether every listed protocol is the hetero
+// protocol (the only shape a topology-bearing manifest may take).
+func (m Manifest) heteroOnly() bool {
+	if len(m.Protocols) == 0 {
+		return false
+	}
+	for _, p := range m.Protocols {
+		if p.Name != ProtocolHetero {
+			return false
+		}
+	}
+	return true
+}
+
 // withDefaults fills the enumerable grid dimensions.
 func (m Manifest) withDefaults() Manifest {
 	if m.Name == "" {
@@ -120,8 +145,15 @@ func (m Manifest) withDefaults() Manifest {
 		m.Patterns = 500
 	}
 	if len(m.Platforms) == 0 {
-		for _, pl := range platform.All() {
-			m.Platforms = append(m.Platforms, pl.Name)
+		switch {
+		case m.heteroOnly() && m.Topology != nil:
+			// The topology replaces the platform dimension: one pseudo
+			// platform named after it, never looked up.
+			m.Platforms = []string{m.Topology.Name}
+		default:
+			for _, pl := range platform.All() {
+				m.Platforms = append(m.Platforms, pl.Name)
+			}
 		}
 	}
 	if len(m.Scenarios) == 0 {
@@ -144,9 +176,33 @@ func (m Manifest) Validate() error {
 	if m.Runs < 1 || m.Patterns < 1 {
 		return fmt.Errorf("campaign: runs and patterns must be positive, got %d×%d", m.Runs, m.Patterns)
 	}
-	for _, name := range m.Platforms {
-		if _, err := platform.Lookup(name); err != nil {
+	heteroSeen := false
+	for _, p := range m.Protocols {
+		if p.Name == ProtocolHetero {
+			heteroSeen = true
+		}
+	}
+	if heteroSeen {
+		if !m.heteroOnly() {
+			return fmt.Errorf("campaign: the hetero protocol cannot mix with other protocols in one manifest")
+		}
+		if m.Topology == nil {
+			return fmt.Errorf("campaign: the hetero protocol needs a topology")
+		}
+		if err := m.Topology.Validate(); err != nil {
 			return fmt.Errorf("campaign: %w", err)
+		}
+		if len(m.Platforms) > 1 {
+			return fmt.Errorf("campaign: the hetero protocol replaces the platform dimension (got %d platforms)", len(m.Platforms))
+		}
+	} else {
+		if m.Topology != nil {
+			return fmt.Errorf("campaign: a topology has no effect without the hetero protocol")
+		}
+		for _, name := range m.Platforms {
+			if _, err := platform.Lookup(name); err != nil {
+				return fmt.Errorf("campaign: %w", err)
+			}
 		}
 	}
 	for _, sc := range m.Scenarios {
@@ -195,8 +251,26 @@ func (m Manifest) Validate() error {
 					return fmt.Errorf("campaign: in-memory fraction %g outside [0, 1]", f)
 				}
 			}
+		case ProtocolHetero:
+			if len(p.InMemFractions) > 0 {
+				return fmt.Errorf("campaign: in_mem_fractions have no effect on the hetero protocol")
+			}
 		default:
-			return fmt.Errorf("campaign: unknown protocol %q (want %s or %s)", p.Name, ProtocolSingle, ProtocolMultilevel)
+			return fmt.Errorf("campaign: unknown protocol %q (want %s, %s or %s)", p.Name, ProtocolSingle, ProtocolMultilevel, ProtocolHetero)
+		}
+	}
+	if heteroSeen {
+		switch m.Axis {
+		case AxisNone, AxisComm, AxisAlpha, AxisDowntime:
+		default:
+			return fmt.Errorf("campaign: the hetero protocol supports the comm, alpha and downtime axes (got %q)", m.Axis)
+		}
+		// The heterogeneous simulator is pattern-level only: no machine
+		// mode, hence no non-exponential pricing.
+		for _, d := range m.Distributions {
+			if !failures.IsExponentialName(d.Name) {
+				return fmt.Errorf("campaign: the hetero protocol supports only exponential failures (got %q)", d.Name)
+			}
 		}
 	}
 	switch m.Axis {
@@ -204,7 +278,7 @@ func (m Manifest) Validate() error {
 		if len(m.Values) > 0 {
 			return fmt.Errorf("campaign: axis values without an axis name")
 		}
-	case AxisAlpha, AxisLambda, AxisDowntime, AxisShape, AxisFraction:
+	case AxisAlpha, AxisLambda, AxisDowntime, AxisShape, AxisFraction, AxisComm:
 		if len(m.Values) == 0 {
 			return fmt.Errorf("campaign: axis %q needs values", m.Axis)
 		}
@@ -214,6 +288,17 @@ func (m Manifest) Validate() error {
 			}
 			if m.Axis == AxisLambda && !(v > 0) {
 				return fmt.Errorf("campaign: lambda axis value %g must be positive", v)
+			}
+			if m.Axis == AxisComm && v < 0 {
+				return fmt.Errorf("campaign: comm axis value %g must be non-negative", v)
+			}
+		}
+		if m.Axis == AxisComm {
+			if !heteroSeen {
+				return fmt.Errorf("campaign: the comm axis needs the hetero protocol")
+			}
+			if m.Topology != nil && m.Topology.Comm != 0 {
+				return fmt.Errorf("campaign: comm is both fixed in the topology and the axis")
 			}
 		}
 		if m.Axis == AxisAlpha && m.Alpha != nil {
@@ -246,7 +331,7 @@ func (m Manifest) Validate() error {
 			}
 		}
 	default:
-		return fmt.Errorf("campaign: unknown axis %q (want alpha, lambda, downtime, shape or frac)", m.Axis)
+		return fmt.Errorf("campaign: unknown axis %q (want alpha, lambda, downtime, shape, frac or comm)", m.Axis)
 	}
 	if m.Axis != AxisShape {
 		// Non-exponential laws need the machine-level simulator; the

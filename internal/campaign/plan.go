@@ -11,6 +11,7 @@ import (
 	"amdahlyd/internal/costmodel"
 	"amdahlyd/internal/experiments"
 	"amdahlyd/internal/failures"
+	"amdahlyd/internal/hetero"
 	"amdahlyd/internal/platform"
 )
 
@@ -37,6 +38,9 @@ type Cell struct {
 	Shape    float64 // NaN for the shapeless exponential law
 	Protocol string
 	Frac     float64 // NaN for single-level
+	// Comm is the effective inter-group comm coefficient (NaN unless the
+	// cell runs the hetero protocol).
+	Comm float64
 	// X is the axis coordinate (NaN for a pure grid).
 	X float64
 	// Seed is the cell's deterministic Monte-Carlo seed, derived from
@@ -45,9 +49,11 @@ type Cell struct {
 
 	// Model is the resolved exponential planning model the solve runs
 	// on; Dist is nil for the exponential fast path, else the calibrated
-	// law the Monte-Carlo phase prices under.
-	Model core.Model
-	Dist  failures.Distribution
+	// law the Monte-Carlo phase prices under. Hetero cells carry the
+	// compiled topology in Hetero instead (Model stays zero).
+	Model  core.Model
+	Hetero core.HeteroModel
+	Dist   failures.Distribution
 }
 
 // Plan is the deterministic expansion of a manifest: Cells in planning
@@ -104,6 +110,8 @@ func Expand(manifest Manifest) (*Plan, error) {
 		switch {
 		case pr.Name == ProtocolSingle:
 			protos = append(protos, protoInstance{name: ProtocolSingle, frac: math.NaN()})
+		case pr.Name == ProtocolHetero:
+			protos = append(protos, protoInstance{name: ProtocolHetero, frac: math.NaN()})
 		case m.Axis == AxisFraction:
 			protos = append(protos, protoInstance{name: ProtocolMultilevel, frac: math.NaN()})
 		default:
@@ -117,10 +125,19 @@ func Expand(manifest Manifest) (*Plan, error) {
 		xs = []float64{math.NaN()}
 	}
 
+	isHetero := m.heteroOnly()
 	for _, plName := range m.Platforms {
-		basePl, err := platform.Lookup(plName)
-		if err != nil {
-			return nil, fmt.Errorf("campaign: %w", err)
+		var basePl platform.Platform
+		if isHetero {
+			// The pseudo-platform carries only the topology's name; the
+			// group parameters live in m.Topology.
+			basePl.Name = plName
+		} else {
+			var err error
+			basePl, err = platform.Lookup(plName)
+			if err != nil {
+				return nil, fmt.Errorf("campaign: %w", err)
+			}
 		}
 		for _, scn := range m.Scenarios {
 			sc := costmodel.Scenario(scn)
@@ -139,6 +156,7 @@ func Expand(manifest Manifest) (*Plan, error) {
 							Shape:    di.shape,
 							Protocol: pi.name,
 							Frac:     pi.frac,
+							Comm:     math.NaN(),
 							X:        x,
 						}
 						pl := basePl
@@ -154,16 +172,31 @@ func Expand(manifest Manifest) (*Plan, error) {
 						case AxisFraction:
 							cell.Frac = x
 						}
-						cell.Lambda = pl.LambdaInd
-						cell.Model, err = experiments.BuildModel(pl, sc, cell.Alpha, cell.Downtime)
-						if err != nil {
-							return nil, fmt.Errorf("campaign: cell %s/%v/%s=%g: %w",
-								cell.Platform, sc, m.Axis, x, err)
-						}
-						if cell.DistName != "exponential" {
-							cell.Dist, err = failures.ParseDistribution(cell.DistName, cell.Shape, pl.LambdaInd)
+						var err error
+						if isHetero {
+							tp := *m.Topology
+							if m.Axis == AxisComm {
+								tp.Comm = x
+							}
+							cell.Comm = tp.Comm
+							cell.Lambda = math.NaN()
+							cell.Hetero, err = hetero.CompileTopology(tp, sc, cell.Alpha, cell.Downtime)
 							if err != nil {
-								return nil, fmt.Errorf("campaign: %w", err)
+								return nil, fmt.Errorf("campaign: cell %s/%v/%s=%g: %w",
+									cell.Platform, sc, m.Axis, x, err)
+							}
+						} else {
+							cell.Lambda = pl.LambdaInd
+							cell.Model, err = experiments.BuildModel(pl, sc, cell.Alpha, cell.Downtime)
+							if err != nil {
+								return nil, fmt.Errorf("campaign: cell %s/%v/%s=%g: %w",
+									cell.Platform, sc, m.Axis, x, err)
+							}
+							if cell.DistName != "exponential" {
+								cell.Dist, err = failures.ParseDistribution(cell.DistName, cell.Shape, pl.LambdaInd)
+								if err != nil {
+									return nil, fmt.Errorf("campaign: %w", err)
+								}
 							}
 						}
 						if err := cell.identify(m); err != nil {
@@ -195,7 +228,13 @@ func Expand(manifest Manifest) (*Plan, error) {
 // model/distribution keys plus the protocol and budget coordinates —
 // never from grid position, so IDs survive reordering and grid growth.
 func (c *Cell) identify(m Manifest) error {
-	mk, err := c.Model.CacheKey()
+	var mk string
+	var err error
+	if len(c.Hetero.Groups) > 0 {
+		mk, err = c.Hetero.CacheKey() // versioned hg1| key, disjoint from Model keys
+	} else {
+		mk, err = c.Model.CacheKey()
+	}
 	if err != nil {
 		return fmt.Errorf("campaign: keying cell %s/%v: %w", c.Platform, c.Scenario, err)
 	}
@@ -228,6 +267,9 @@ func (c *Cell) Label() string {
 	}
 	if c.DistName != "exponential" {
 		s += fmt.Sprintf("/%s(k=%g)", c.DistName, c.Shape)
+	}
+	if !math.IsNaN(c.Comm) {
+		s += fmt.Sprintf("/comm=%g", c.Comm)
 	}
 	if !math.IsNaN(c.X) {
 		s += fmt.Sprintf("/x=%g", c.X)

@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"amdahlyd/internal/experiments"
+	"amdahlyd/internal/platform"
 )
 
 // presets maps the five hand-written study drivers onto campaign
@@ -59,6 +60,18 @@ var presets = map[string]func() Manifest{
 			Protocols: []ProtocolSpec{{Name: ProtocolMultilevel}},
 			Axis:      AxisFraction,
 			Values:    experiments.DefaultMultilevelFractions,
+		}
+	},
+	// Heterogeneous study: Hera CPU tiles plus a faster low-reliability
+	// accelerator group, comm-coefficient axis, joint per-group optima.
+	"hetero": func() Manifest {
+		tp := experiments.HeteroStudyTopology(platform.Hera(), 0, 0.25)
+		return Manifest{
+			Name:      "hetero",
+			Topology:  &tp,
+			Protocols: []ProtocolSpec{{Name: ProtocolHetero}},
+			Axis:      AxisComm,
+			Values:    experiments.DefaultHeteroComms,
 		}
 	},
 	// A deliberately tiny grid for CI smoke and the kill-and-resume

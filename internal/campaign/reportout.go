@@ -53,11 +53,20 @@ func renderReport(w io.Writer, p *Plan, arts []*Artifact, unsim int) error {
 	for i, a := range arts {
 		c := p.Cells[i]
 		k := "-"
-		if c.Protocol == ProtocolMultilevel {
+		tCol, pCol := report.Fmt(a.T), report.Fmt(a.P)
+		switch c.Protocol {
+		case ProtocolMultilevel:
 			k = strconv.Itoa(a.K)
+		case ProtocolHetero:
+			// One row still summarizes the joint plan: active group count
+			// in the K column, total allocation in P*; per-group (T, P)
+			// live in the cell artifact.
+			k = "G" + strconv.Itoa(a.G)
+			tCol = "-"
+			pCol = report.Fmt(heteroTotalP(a))
 		}
 		simH, simCI := a.SimOverhead()
-		if err := tb.AddRow(c.Label(), report.Fmt(a.T), k, report.Fmt(a.P),
+		if err := tb.AddRow(c.Label(), tCol, k, pCol,
 			report.Fmt(a.PredictedH), report.Fmt(simH), report.Fmt(simCI)); err != nil {
 			return err
 		}
@@ -67,6 +76,15 @@ func renderReport(w io.Writer, p *Plan, arts []*Artifact, unsim int) error {
 	}
 	_, err := io.WriteString(w, "\n")
 	return err
+}
+
+// heteroTotalP sums the per-group allocations of a hetero artifact.
+func heteroTotalP(a *Artifact) float64 {
+	var sum float64
+	for _, g := range a.Groups {
+		sum += g.P
+	}
+	return sum
 }
 
 // csvFloat renders a float at full round-trip precision; NaN (axis or
@@ -80,25 +98,34 @@ func csvFloat(v float64) string {
 
 func writeReportCSV(w io.Writer, p *Plan, arts []*Artifact) error {
 	if _, err := io.WriteString(w,
-		"cell_id,platform,scenario,protocol,dist,shape,frac,alpha,downtime,lambda,axis,x,t,k,p,predicted_h,sim_h,sim_ci,unsimulable\n"); err != nil {
+		"cell_id,platform,scenario,protocol,dist,shape,frac,comm,alpha,downtime,lambda,axis,x,t,k,p,predicted_h,sim_h,sim_ci,unsimulable\n"); err != nil {
 		return err
 	}
 	for i, a := range arts {
 		c := p.Cells[i]
 		k := ""
-		if c.Protocol == ProtocolMultilevel {
+		t, pv := csvFloat(a.T), csvFloat(a.P)
+		switch c.Protocol {
+		case ProtocolMultilevel:
 			k = strconv.Itoa(a.K)
+		case ProtocolHetero:
+			// k carries the active group count; t has no single value, p
+			// is the total allocation across groups.
+			k = strconv.Itoa(a.G)
+			t = ""
+			pv = csvFloat(heteroTotalP(a))
 		}
 		simH, simCI := a.SimOverhead()
 		unsimulable := ""
 		if a.Unsimulable {
 			unsimulable = "1"
 		}
-		if _, err := fmt.Fprintf(w, "%s,%s,%d,%s,%s,%s,%s,%s,%s,%s,%s,%s,%s,%s,%s,%s,%s,%s,%s\n",
+		if _, err := fmt.Fprintf(w, "%s,%s,%d,%s,%s,%s,%s,%s,%s,%s,%s,%s,%s,%s,%s,%s,%s,%s,%s,%s\n",
 			c.ID, c.Platform, int(c.Scenario), c.Protocol, c.DistName,
-			csvFloat(c.Shape), csvFloat(c.Frac), csvFloat(c.Alpha), csvFloat(c.Downtime),
+			csvFloat(c.Shape), csvFloat(c.Frac), csvFloat(c.Comm),
+			csvFloat(c.Alpha), csvFloat(c.Downtime),
 			csvFloat(c.Lambda), p.Manifest.Axis, csvFloat(c.X),
-			csvFloat(a.T), k, csvFloat(a.P), csvFloat(a.PredictedH),
+			t, k, pv, csvFloat(a.PredictedH),
 			csvFloat(simH), csvFloat(simCI), unsimulable); err != nil {
 			return err
 		}

@@ -99,6 +99,12 @@ func profileKey(p speedup.Profile) (string, error) {
 		return "amdahl:" + FormatFloatKey(prof.Alpha), nil
 	case speedup.PerfectlyParallel:
 		return "pp", nil
+	case speedup.AmdahlComm:
+		if math.IsNaN(prof.Alpha) || math.IsNaN(prof.Speed) || math.IsNaN(prof.Comm) {
+			return "", fmt.Errorf("core: cannot key an AmdahlComm profile with NaN parameters")
+		}
+		return "amdahlcomm:" + FormatFloatKey(prof.Alpha) + "," +
+			FormatFloatKey(prof.Speed) + "," + FormatFloatKey(prof.Comm), nil
 	case speedup.Gustafson:
 		if math.IsNaN(prof.Alpha) {
 			return "", fmt.Errorf("core: cannot key a Gustafson profile with NaN α")

@@ -1,0 +1,62 @@
+package hetero
+
+import (
+	"fmt"
+
+	"amdahlyd/internal/core"
+	"amdahlyd/internal/costmodel"
+	"amdahlyd/internal/platform"
+	"amdahlyd/internal/speedup"
+)
+
+// CompileTopology lowers a platform topology to the core layer: one
+// single-group Model per group — the group's rates, its scenario-calibrated
+// resilience costs (Calibrate at the group's own size and measured costs)
+// and its base speedup profile — plus the topology's inter-group comm
+// coefficient. It is the heterogeneous counterpart of
+// experiments.BuildModel, and degenerates exactly to it: a speed-1 group
+// compiles to the same plain Amdahl (or perfectly parallel) profile
+// BuildModel would produce, so a one-group zero-comm topology yields a
+// HeteroModel whose only group is bit-identical to the classical Model —
+// same profile value, same cache key, same frozen kernels.
+func CompileTopology(tp platform.Topology, sc costmodel.Scenario, alpha, downtime float64) (core.HeteroModel, error) {
+	if err := tp.Validate(); err != nil {
+		return core.HeteroModel{}, err
+	}
+	groups := make([]core.HeteroGroup, len(tp.Groups))
+	for i, g := range tp.Groups {
+		res, err := g.Platform().Resilience(sc, downtime)
+		if err != nil {
+			return core.HeteroModel{}, fmt.Errorf("hetero: group %s: %w", g.Name, err)
+		}
+		var profile speedup.Profile
+		switch {
+		case g.Speed == 1 && alpha == 0:
+			profile = speedup.PerfectlyParallel{}
+		case g.Speed == 1:
+			am, err := speedup.NewAmdahl(alpha)
+			if err != nil {
+				return core.HeteroModel{}, fmt.Errorf("hetero: group %s: %w", g.Name, err)
+			}
+			profile = am
+		default:
+			ac, err := speedup.NewAmdahlComm(alpha, g.Speed, 0)
+			if err != nil {
+				return core.HeteroModel{}, fmt.Errorf("hetero: group %s: %w", g.Name, err)
+			}
+			profile = ac
+		}
+		m := core.Model{
+			LambdaInd:    g.LambdaInd,
+			FailStopFrac: g.FailStopFraction,
+			SilentFrac:   g.SilentFraction,
+			Res:          res,
+			Profile:      profile,
+		}
+		if err := m.Validate(); err != nil {
+			return core.HeteroModel{}, fmt.Errorf("hetero: group %s: %w", g.Name, err)
+		}
+		groups[i] = core.HeteroGroup{Model: m, Size: g.Size}
+	}
+	return core.HeteroModel{Groups: groups, Comm: tp.Comm}, nil
+}

@@ -43,7 +43,11 @@ type Platform struct {
 }
 
 // Validate checks internal consistency (rates positive, fractions in
-// [0, 1] and summing to 1 within measurement rounding).
+// [0, 1] and summing to 1 within measurement rounding). Every range test
+// is written in the form !(x in range) so that a NaN field — for which
+// any comparison is false — is rejected rather than silently admitted,
+// and infinities are rejected explicitly: a platform is a set of
+// measurements, and a non-finite measurement is a corrupt one.
 func (pl Platform) Validate() error {
 	if pl.Name == "" {
 		return errors.New("platform: empty name")
@@ -51,24 +55,24 @@ func (pl Platform) Validate() error {
 	if !(pl.LambdaInd > 0) || math.IsInf(pl.LambdaInd, 0) {
 		return fmt.Errorf("platform %s: λ_ind = %g must be positive and finite", pl.Name, pl.LambdaInd)
 	}
-	if pl.FailStopFraction < 0 || pl.FailStopFraction > 1 {
+	if !(pl.FailStopFraction >= 0 && pl.FailStopFraction <= 1) {
 		return fmt.Errorf("platform %s: f = %g outside [0,1]", pl.Name, pl.FailStopFraction)
 	}
-	if pl.SilentFraction < 0 || pl.SilentFraction > 1 {
+	if !(pl.SilentFraction >= 0 && pl.SilentFraction <= 1) {
 		return fmt.Errorf("platform %s: s = %g outside [0,1]", pl.Name, pl.SilentFraction)
 	}
 	if math.Abs(pl.FailStopFraction+pl.SilentFraction-1) > 1e-3 {
 		return fmt.Errorf("platform %s: f + s = %g, want 1", pl.Name,
 			pl.FailStopFraction+pl.SilentFraction)
 	}
-	if pl.Processors < 1 {
-		return fmt.Errorf("platform %s: P = %g must be >= 1", pl.Name, pl.Processors)
+	if !(pl.Processors >= 1) || math.IsInf(pl.Processors, 0) {
+		return fmt.Errorf("platform %s: P = %g must be >= 1 and finite", pl.Name, pl.Processors)
 	}
-	if pl.CheckpointCost <= 0 {
-		return fmt.Errorf("platform %s: C_P = %g must be positive", pl.Name, pl.CheckpointCost)
+	if !(pl.CheckpointCost > 0) || math.IsInf(pl.CheckpointCost, 0) {
+		return fmt.Errorf("platform %s: C_P = %g must be positive and finite", pl.Name, pl.CheckpointCost)
 	}
-	if pl.VerificationCost < 0 {
-		return fmt.Errorf("platform %s: V_P = %g must be non-negative", pl.Name, pl.VerificationCost)
+	if !(pl.VerificationCost >= 0) || math.IsInf(pl.VerificationCost, 0) {
+		return fmt.Errorf("platform %s: V_P = %g must be non-negative and finite", pl.Name, pl.VerificationCost)
 	}
 	return nil
 }

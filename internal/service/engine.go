@@ -33,6 +33,7 @@ import (
 
 	"amdahlyd/internal/core"
 	"amdahlyd/internal/failures"
+	"amdahlyd/internal/hetero"
 	"amdahlyd/internal/multilevel"
 	"amdahlyd/internal/optimize"
 	"amdahlyd/internal/sim"
@@ -104,6 +105,12 @@ type Engine struct {
 	// multilevel.go): two-level results never alias single-level entries.
 	mlOptimizes *lruCache[multilevel.PatternResult]
 	mlSims      *lruCache[multilevel.CampaignResult]
+	// hgOptimizes and hgSims hold the heterogeneous-topology results.
+	// Their model keys already carry the hg1| version prefix
+	// (core.HeteroModel.CacheKey), so a layout change in the hetero result
+	// types bumps the namespace at the core layer.
+	hgOptimizes *lruCache[hetero.PatternResult]
+	hgSims      *lruCache[sim.HeteroRunResult]
 	flight      *flightGroup
 
 	// sem is the bounded job scheduler: one slot per executing job.
@@ -120,6 +127,9 @@ type Engine struct {
 	mlOptCalls   atomic.Uint64
 	mlSimCalls   atomic.Uint64
 	mlSweepCalls atomic.Uint64
+	hgOptCalls   atomic.Uint64
+	hgSimCalls   atomic.Uint64
+	hgSweepCalls atomic.Uint64
 	inFlight     atomic.Int64
 	queued       atomic.Int64
 	cancelled    atomic.Uint64
@@ -141,6 +151,8 @@ func NewEngine(opts Options) *Engine {
 		sims:        newLRU[sim.RunResult](opts.ResultCacheSize),
 		mlOptimizes: newLRU[multilevel.PatternResult](opts.ResultCacheSize),
 		mlSims:      newLRU[multilevel.CampaignResult](opts.ResultCacheSize),
+		hgOptimizes: newLRU[hetero.PatternResult](opts.ResultCacheSize),
+		hgSims:      newLRU[sim.HeteroRunResult](opts.ResultCacheSize),
 		flight:      newFlightGroup(),
 		sem:         make(chan struct{}, opts.MaxConcurrent),
 	}
@@ -513,6 +525,9 @@ type Stats struct {
 	MultilevelOptimizeCalls uint64     `json:"multilevel_optimize_calls"`
 	MultilevelSimulateCalls uint64     `json:"multilevel_simulate_calls"`
 	MultilevelSweepCalls    uint64     `json:"multilevel_sweep_calls"`
+	HeteroOptimizeCalls     uint64     `json:"hetero_optimize_calls"`
+	HeteroSimulateCalls     uint64     `json:"hetero_simulate_calls"`
+	HeteroSweepCalls        uint64     `json:"hetero_sweep_calls"`
 	Deduplicated            uint64     `json:"deduplicated"`
 	Cancelled               uint64     `json:"cancelled"`
 	Saturated               uint64     `json:"saturated"`
@@ -525,6 +540,8 @@ type Stats struct {
 	SimulateCache           CacheStats `json:"simulate_cache"`
 	MultilevelOptimizeCache CacheStats `json:"multilevel_optimize_cache"`
 	MultilevelSimulateCache CacheStats `json:"multilevel_simulate_cache"`
+	HeteroOptimizeCache     CacheStats `json:"hetero_optimize_cache"`
+	HeteroSimulateCache     CacheStats `json:"hetero_simulate_cache"`
 }
 
 // Stats snapshots the engine counters.
@@ -537,6 +554,9 @@ func (e *Engine) Stats() Stats {
 		MultilevelOptimizeCalls: e.mlOptCalls.Load(),
 		MultilevelSimulateCalls: e.mlSimCalls.Load(),
 		MultilevelSweepCalls:    e.mlSweepCalls.Load(),
+		HeteroOptimizeCalls:     e.hgOptCalls.Load(),
+		HeteroSimulateCalls:     e.hgSimCalls.Load(),
+		HeteroSweepCalls:        e.hgSweepCalls.Load(),
 		Deduplicated:            e.flight.Deduped(),
 		Cancelled:               e.cancelled.Load(),
 		Saturated:               e.saturated.Load(),
@@ -549,5 +569,7 @@ func (e *Engine) Stats() Stats {
 		SimulateCache:           e.sims.Stats(),
 		MultilevelOptimizeCache: e.mlOptimizes.Stats(),
 		MultilevelSimulateCache: e.mlSims.Stats(),
+		HeteroOptimizeCache:     e.hgOptimizes.Stats(),
+		HeteroSimulateCache:     e.hgSims.Stats(),
 	}
 }

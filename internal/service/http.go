@@ -179,6 +179,12 @@ type SweepRequest struct {
 	// is solved as a joint (T, K, P) optimum by the multilevel warm-start
 	// chain, and rows carry the segment count K.
 	Multilevel *MultilevelSweepSpec `json:"multilevel,omitempty"`
+	// Hetero switches the axis to the heterogeneous protocol: the base
+	// model is the spec's topology (Model is ignored), the axis must be
+	// "comm", and every cell is solved as a joint (active set, split,
+	// T_g, P_g) optimum by the heterogeneous warm-start chain. Rows carry
+	// the active count G and the per-group plans.
+	Hetero *HeteroSweepSpec `json:"hetero,omitempty"`
 }
 
 // MultilevelSweepSpec selects the two-level protocol for a sweep axis.
@@ -226,6 +232,11 @@ type SweepRow struct {
 	Class    string  `json:"class,omitempty"`
 	AtPBound bool    `json:"at_p_bound,omitempty"`
 	Evals    int     `json:"evals"`
+	// G is the active group count and Groups the per-group plans; present
+	// only on heterogeneous sweeps (T and P are per-group there, so the
+	// scalar fields are left zero).
+	G      int                   `json:"g,omitempty"`
+	Groups []HeteroGroupPlanJSON `json:"groups,omitempty"`
 	// Warm reports that the cell was solved in the warm bracket of its
 	// neighbour; Cached that it was served from the per-cell cache.
 	Warm   bool `json:"warm"`
@@ -313,6 +324,8 @@ func NewServer(e *Engine) *Server {
 	s.mux.HandleFunc("POST /v1/sweep", s.handleSweep)
 	s.mux.HandleFunc("POST /v1/multilevel/optimize", s.handleMultilevelOptimize)
 	s.mux.HandleFunc("POST /v1/multilevel/simulate", s.handleMultilevelSimulate)
+	s.mux.HandleFunc("POST /v1/hetero/optimize", s.handleHeteroOptimize)
+	s.mux.HandleFunc("POST /v1/hetero/simulate", s.handleHeteroSimulate)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	return s
@@ -539,23 +552,51 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 			"sweep of %d cells exceeds the per-request limit of %d", len(req.Values), maxRequestSweepCells))
 		return
 	}
-	models := make([]core.Model, len(req.Values))
+	if req.Hetero != nil && req.Multilevel != nil {
+		writeErr(w, http.StatusBadRequest,
+			fmt.Errorf("multilevel and hetero select different protocols; pick one"))
+		return
+	}
 	for i, x := range req.Values {
 		if math.IsNaN(x) || math.IsInf(x, 0) {
 			writeErr(w, http.StatusBadRequest, fmt.Errorf("axis value %d is not finite", i))
 			return
 		}
-		spec, err := req.Model.withAxis(req.Axis, x)
-		if err != nil {
-			writeErr(w, http.StatusBadRequest, err)
+	}
+	var models []core.Model
+	var heteroModels []core.HeteroModel
+	if req.Hetero != nil {
+		// The heterogeneous axis sweeps the topology's coupling term: each
+		// cell recompiles the topology at the axis value of κ.
+		if req.Axis != "comm" {
+			writeErr(w, http.StatusBadRequest,
+				fmt.Errorf("unknown hetero sweep axis %q (want comm)", req.Axis))
 			return
 		}
-		m, _, err := spec.Build()
-		if err != nil {
-			writeErr(w, http.StatusBadRequest, fmt.Errorf("%s=%g: %w", req.Axis, x, err))
-			return
+		heteroModels = make([]core.HeteroModel, len(req.Values))
+		for i, x := range req.Values {
+			hm, _, err := req.Hetero.Topology.withComm(x).Build()
+			if err != nil {
+				writeErr(w, http.StatusBadRequest, fmt.Errorf("comm=%g: %w", x, err))
+				return
+			}
+			heteroModels[i] = hm
 		}
-		models[i] = m
+	} else {
+		models = make([]core.Model, len(req.Values))
+		for i, x := range req.Values {
+			spec, err := req.Model.withAxis(req.Axis, x)
+			if err != nil {
+				writeErr(w, http.StatusBadRequest, err)
+				return
+			}
+			m, _, err := spec.Build()
+			if err != nil {
+				writeErr(w, http.StatusBadRequest, fmt.Errorf("%s=%g: %w", req.Axis, x, err))
+				return
+			}
+			models[i] = m
+		}
 	}
 	// True streaming: each NDJSON row is written (and flushed) the moment
 	// its cell is solved, so the first row of a long axis reaches the
@@ -586,7 +627,27 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		return nil
 	}
 	var err error
-	if req.Multilevel != nil {
+	if req.Hetero != nil {
+		hOpts := HeteroOptions{OptimizeOptions: req.Options, MaxGroups: req.Hetero.MaxGroups}
+		_, tp, berr := req.Hetero.Topology.Build()
+		if berr != nil {
+			writeErr(w, http.StatusBadRequest, berr)
+			return
+		}
+		err = s.engine.HeteroSweepStream(r.Context(), heteroModels, hOpts.pattern(), req.Cold,
+			func(i int, c HeteroSweepCell) error {
+				return writeRow(i, SweepRow{
+					X:        req.Values[i],
+					Overhead: c.Result.Overhead,
+					Method:   "hetero",
+					Evals:    c.Result.Evals,
+					G:        c.Result.Active,
+					Groups:   groupPlansJSON(tp, c.Result.Groups),
+					Warm:     c.Result.Warm,
+					Cached:   c.Cached,
+				})
+			})
+	} else if req.Multilevel != nil {
 		// The two-level axis: the segment length is closed-form at every
 		// (K, P), so period search bounds have no meaning here — reject
 		// them loudly instead of silently ignoring half the options.

@@ -1,0 +1,81 @@
+package speedup
+
+import (
+	"fmt"
+	"math"
+)
+
+// AmdahlComm is the communication-aware member of the Amdahl family used
+// by heterogeneous platform groups: Amdahl's law scaled by a per-processor
+// speed factor σ, plus a communication term that grows linearly with the
+// allocation,
+//
+//	H(P) = (α + (1−α)/P)/σ + κ·(P−1).
+//
+// σ models a group whose processors are faster (σ > 1) or slower (σ < 1)
+// than the topology's baseline; κ is the per-processor communication
+// coefficient (overhead per unit of sequential work) a group pays when its
+// allocation participates in cross-group exchange — the linear-cost term
+// of the Amdahl-meets-Divisible-Load analysis. With κ > 0 the overhead has
+// an interior minimum: unlike pure Amdahl, throwing processors at the job
+// eventually loses to the communication bill.
+//
+// AmdahlComm{α, 1, 0} evaluates bit-identically to Amdahl{α} (dividing by
+// 1.0 and adding κ·(P−1) = +0.0 are exact), but callers that want cache-key
+// and kernel identity with today's single-group models should construct a
+// plain Amdahl in that case — the hetero compiler does.
+//
+// Note that the package-level Validate probe rejects κ > 0 profiles by
+// design: it enforces a non-decreasing S(P) over six decades, and a
+// communication term makes S(P) eventually decrease. That decrease is the
+// point. Construct through NewAmdahlComm for parameter validation instead.
+type AmdahlComm struct {
+	// Alpha is the sequential fraction α ∈ [0, 1].
+	Alpha float64
+	// Speed is the per-processor speed factor σ > 0 (1 = baseline).
+	Speed float64
+	// Comm is the communication coefficient κ ≥ 0 per allocated processor.
+	Comm float64
+}
+
+// NewAmdahlComm validates (α, σ, κ) and returns the profile.
+func NewAmdahlComm(alpha, speed, comm float64) (AmdahlComm, error) {
+	if !(alpha >= 0 && alpha <= 1) {
+		return AmdahlComm{}, fmt.Errorf("speedup: sequential fraction α = %g outside [0,1]", alpha)
+	}
+	if !(speed > 0) || math.IsInf(speed, 0) {
+		return AmdahlComm{}, fmt.Errorf("speedup: speed factor σ = %g must be positive and finite", speed)
+	}
+	if !(comm >= 0) || math.IsInf(comm, 0) {
+		return AmdahlComm{}, fmt.Errorf("speedup: communication coefficient κ = %g must be non-negative and finite", comm)
+	}
+	return AmdahlComm{Alpha: alpha, Speed: speed, Comm: comm}, nil
+}
+
+// Overhead returns H(P) = (α + (1−α)/P)/σ + κ·(P−1).
+func (a AmdahlComm) Overhead(p float64) float64 {
+	if p < 1 {
+		p = 1
+	}
+	return (a.Alpha+(1-a.Alpha)/p)/a.Speed + a.Comm*(p-1)
+}
+
+// Speedup returns 1/H(P).
+func (a AmdahlComm) Speedup(p float64) float64 { return 1 / a.Overhead(p) }
+
+// Name implements Profile.
+func (a AmdahlComm) Name() string {
+	return fmt.Sprintf("amdahl-comm(α=%g,σ=%g,κ=%g)", a.Alpha, a.Speed, a.Comm)
+}
+
+// OptimalAllocation returns the error-free optimal allocation
+// P† = sqrt((1−α)/(σ·κ)) that balances the parallel gain against the
+// communication bill (+Inf when κ = 0: the classical unbounded regime).
+// The error-aware optimizer starts near it but lands elsewhere — failures
+// push the optimum down.
+func (a AmdahlComm) OptimalAllocation() float64 {
+	if a.Comm == 0 {
+		return math.Inf(1)
+	}
+	return math.Sqrt((1 - a.Alpha) / (a.Speed * a.Comm))
+}

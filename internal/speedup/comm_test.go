@@ -1,0 +1,73 @@
+package speedup
+
+import (
+	"math"
+	"testing"
+)
+
+func TestAmdahlCommDegeneratesToAmdahl(t *testing.T) {
+	// σ = 1, κ = 0 must evaluate bit-identically to plain Amdahl: the
+	// hetero degeneracy chain depends on it.
+	am, err := NewAmdahl(0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ac, err := NewAmdahlComm(0.1, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []float64{1, 2, 7, 64, 512, 1e6, 1e12} {
+		if ac.Overhead(p) != am.Overhead(p) {
+			t.Errorf("H(%g): comm %v != amdahl %v", p, ac.Overhead(p), am.Overhead(p))
+		}
+		if ac.Speedup(p) != am.Speedup(p) {
+			t.Errorf("S(%g): comm %v != amdahl %v", p, ac.Speedup(p), am.Speedup(p))
+		}
+	}
+}
+
+func TestAmdahlCommShape(t *testing.T) {
+	ac, err := NewAmdahlComm(0.05, 4, 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Overhead at the error-free optimal allocation beats both sides:
+	// the comm term gives an interior minimum.
+	pOpt := ac.OptimalAllocation()
+	if want := math.Sqrt((1 - 0.05) / (4 * 1e-6)); pOpt != want {
+		t.Errorf("OptimalAllocation = %g, want %g", pOpt, want)
+	}
+	hOpt := ac.Overhead(pOpt)
+	if ac.Overhead(pOpt/10) <= hOpt || ac.Overhead(pOpt*10) <= hOpt {
+		t.Errorf("H not interior-minimal at P† = %g: H(P†)=%g H(P†/10)=%g H(10P†)=%g",
+			pOpt, hOpt, ac.Overhead(pOpt/10), ac.Overhead(pOpt*10))
+	}
+	// A speed factor divides the Amdahl part only.
+	slow, _ := NewAmdahlComm(0.05, 1, 0)
+	fast, _ := NewAmdahlComm(0.05, 4, 0)
+	if got := fast.Overhead(64); got != slow.Overhead(64)/4 {
+		t.Errorf("σ=4 overhead %g, want %g", got, slow.Overhead(64)/4)
+	}
+	// P < 1 clamps.
+	if ac.Overhead(0.5) != ac.Overhead(1) {
+		t.Error("P < 1 not clamped")
+	}
+	// κ = 0 keeps the classical unbounded regime.
+	if !math.IsInf(fast.OptimalAllocation(), 1) {
+		t.Error("κ = 0 should give an infinite error-free optimal allocation")
+	}
+}
+
+func TestNewAmdahlCommRejectsBadParameters(t *testing.T) {
+	nan := math.NaN()
+	cases := []struct{ alpha, speed, comm float64 }{
+		{-0.1, 1, 0}, {1.1, 1, 0}, {nan, 1, 0},
+		{0.1, 0, 0}, {0.1, -1, 0}, {0.1, nan, 0}, {0.1, math.Inf(1), 0},
+		{0.1, 1, -1e-9}, {0.1, 1, nan}, {0.1, 1, math.Inf(1)},
+	}
+	for _, c := range cases {
+		if _, err := NewAmdahlComm(c.alpha, c.speed, c.comm); err == nil {
+			t.Errorf("NewAmdahlComm(%g, %g, %g) accepted", c.alpha, c.speed, c.comm)
+		}
+	}
+}

@@ -23,7 +23,7 @@ cd "$(dirname "$0")/.."
 # optimizer and simulator loop is built on. Macro benchmarks (figures,
 # campaigns) are recorded but not gated — they move with design changes;
 # these must only ever go down.
-frozen_benchmarks="BenchmarkExactPatternTime BenchmarkFreeze BenchmarkFrozenOverhead BenchmarkFrozenOverheadLog BenchmarkFirstOrderSolve BenchmarkMultilevelOptimize BenchmarkMultilevelCampaign"
+frozen_benchmarks="BenchmarkExactPatternTime BenchmarkFreeze BenchmarkFrozenOverhead BenchmarkFrozenOverheadLog BenchmarkFirstOrderSolve BenchmarkMultilevelOptimize BenchmarkMultilevelCampaign BenchmarkHeteroOptimize BenchmarkHeteroSweep"
 regression_pct=15
 
 # parse_min_ns <raw-file>: emit "name ns" lines, min ns/op per benchmark.

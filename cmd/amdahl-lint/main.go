@@ -1,0 +1,158 @@
+// Command amdahl-lint is the repository's invariant checker: a
+// multichecker over the five analyzers in internal/analyzers, enforcing
+// mechanically what earlier PRs enforced by reviewer memory (frozen-
+// kernel routing, NaN-proof validation, atomic artifact writes,
+// deterministic randomness, canonical cache-key tokens).
+//
+// Standalone (source) mode loads packages through `go list -export` and
+// type-checks them against the toolchain's export data:
+//
+//	amdahl-lint ./...
+//	amdahl-lint -run=nanguard,frozenloop amdahlyd/internal/sim
+//
+// It also speaks the `go vet -vettool` protocol (-V=full, -flags, and a
+// single *.cfg argument describing one compilation unit), so the same
+// binary drives both the CI lint job and
+//
+//	go vet -vettool=$(pwd)/amdahl-lint ./...
+//
+// Exit status is 1 when any diagnostic survives //lint:allow
+// suppression, 0 otherwise. Suppression syntax and the rule-to-analyzer
+// map live in DESIGN.md ("Enforced invariants").
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"strings"
+
+	"amdahlyd/internal/analyzers"
+	"amdahlyd/internal/analyzers/analysis"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("amdahl-lint: ")
+
+	printFlags := flag.Bool("flags", false, "print analyzer flags in JSON (go vet protocol)")
+	listOnly := flag.Bool("list", false, "list analyzers and exit")
+	runNames := flag.String("run", "", "comma-separated analyzer names to run (default: all)")
+	flag.Var(versionFlag{}, "V", "print version and exit (go vet protocol)")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: amdahl-lint [-run=names] [packages]\n       amdahl-lint unit.cfg  (go vet -vettool mode)\n\nanalyzers:\n")
+		for _, a := range analyzers.All() {
+			fmt.Fprintf(os.Stderr, "  %-12s %s\n", a.Name, a.Doc)
+		}
+	}
+	flag.Parse()
+
+	if *printFlags {
+		printFlagsJSON()
+		return
+	}
+	suite := selectAnalyzers(*runNames)
+	if *listOnly {
+		for _, a := range suite {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	args := flag.Args()
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		os.Exit(runVetUnit(args[0], suite))
+	}
+	if len(args) == 0 {
+		args = []string{"./..."}
+	}
+	pkgs, err := analysis.Load(".", args...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	diags, err := analysis.Run(pkgs, suite)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, d := range diags {
+		fmt.Fprintln(os.Stderr, d)
+	}
+	if len(diags) > 0 {
+		os.Exit(1)
+	}
+}
+
+func selectAnalyzers(names string) []*analysis.Analyzer {
+	all := analyzers.All()
+	if names == "" {
+		return all
+	}
+	want := map[string]bool{}
+	for _, n := range strings.Split(names, ",") {
+		want[strings.TrimSpace(n)] = true
+	}
+	var out []*analysis.Analyzer
+	for _, a := range all {
+		if want[a.Name] {
+			out = append(out, a)
+			delete(want, a.Name)
+		}
+	}
+	for n := range want {
+		log.Fatalf("unknown analyzer %q (run amdahl-lint -list)", n)
+	}
+	return out
+}
+
+// versionFlag implements the -V=full protocol go vet uses to fingerprint
+// vettools for its build cache: print "<path> version <id>" where the id
+// changes whenever the binary does.
+type versionFlag struct{}
+
+func (versionFlag) IsBoolFlag() bool { return true }
+func (versionFlag) String() string   { return "" }
+func (versionFlag) Set(s string) error {
+	if s != "full" {
+		log.Fatalf("unsupported flag value: -V=%s (use -V=full)", s)
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		log.Fatal(err)
+	}
+	f, err := os.Open(exe)
+	if err != nil {
+		log.Fatal(err)
+	}
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		log.Fatal(err)
+	}
+	f.Close()
+	fmt.Printf("%s version devel buildID=%02x\n", exe, h.Sum(nil))
+	os.Exit(0)
+	return nil
+}
+
+// printFlagsJSON answers `go vet`'s -flags query: the JSON list of flags
+// the build tool may forward to the vettool.
+func printFlagsJSON() {
+	type jsonFlag struct {
+		Name  string
+		Bool  bool
+		Usage string
+	}
+	var out []jsonFlag
+	flag.VisitAll(func(f *flag.Flag) {
+		b, ok := f.Value.(interface{ IsBoolFlag() bool })
+		out = append(out, jsonFlag{f.Name, ok && b.IsBoolFlag(), f.Usage})
+	})
+	data, err := json.MarshalIndent(out, "", "\t")
+	if err != nil {
+		log.Fatal(err)
+	}
+	os.Stdout.Write(data)
+}

@@ -1,0 +1,113 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/importer"
+	"go/token"
+	"go/types"
+	"io"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"amdahlyd/internal/analyzers/analysis"
+)
+
+// vetConfig is the compilation-unit description `go vet -vettool` hands
+// the tool as a JSON .cfg file (the unitchecker protocol). Only the
+// fields this driver consumes are declared.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	ImportPath                string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// runVetUnit analyzes one compilation unit under the go vet protocol and
+// returns the process exit code. Facts are not used by this suite, so
+// the vetx output is written empty — its existence is all `go vet`
+// requires for caching.
+func runVetUnit(cfgPath string, suite []*analysis.Analyzer) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := new(vetConfig)
+	if err := json.Unmarshal(data, cfg); err != nil {
+		log.Fatalf("cannot decode vet config %s: %v", cfgPath, err)
+	}
+	if cfg.VetxOutput != "" {
+		//lint:allow atomicwrite vetx facts file owned by the go vet cache; only its existence matters
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+	// Generated test-main units and the _test.go halves of test variants
+	// are out of scope: the invariants govern production code, and the
+	// plain files of an in-package test unit are still analyzed below.
+	if strings.HasSuffix(cfg.ImportPath, ".test") {
+		return 0
+	}
+	var goFiles []string
+	for _, f := range cfg.GoFiles {
+		if !strings.HasSuffix(filepath.Base(f), "_test.go") {
+			goFiles = append(goFiles, f)
+		}
+	}
+	if len(goFiles) == 0 {
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	compiler := cfg.Compiler
+	if compiler == "" {
+		compiler = "gc"
+	}
+	compImporter := importer.ForCompiler(fset, compiler, func(path string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no package file for %q", path)
+		}
+		return os.Open(file)
+	})
+	imp := importerFunc(func(importPath string) (*types.Package, error) {
+		path, ok := cfg.ImportMap[importPath]
+		if !ok {
+			return nil, fmt.Errorf("can't resolve import %q", importPath)
+		}
+		return compImporter.Import(path)
+	})
+
+	pkg, err := analysis.TypeCheckFiles(fset, cfg.ImportPath, goFiles, imp)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		log.Fatal(err)
+	}
+	diags, err := analysis.Run([]*analysis.Package{pkg}, suite)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, d := range diags {
+		fmt.Fprintln(os.Stderr, d)
+	}
+	if len(diags) > 0 {
+		return 1
+	}
+	return 0
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

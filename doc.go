@@ -137,6 +137,20 @@
 // experiment drivers (Fig2Context et al.) abort between runs and fail
 // fast on the first error. See DESIGN.md, "Service layer".
 //
+// # Enforced invariants: amdahl-lint
+//
+// The conventions the architecture depends on — hot loops on
+// core.Frozen, NaN-proof float validation (!(x > 0), never x <= 0),
+// artifact writes through internal/atomicio, randomness through
+// internal/rng, cache keys in exact hex — are enforced mechanically by
+// cmd/amdahl-lint, a multichecker over the five analyzers in
+// internal/analyzers (frozenloop, nanguard, atomicwrite, rawrand,
+// keyfmt). CI runs it via scripts/lint.sh; it also speaks the `go vet
+// -vettool` protocol. Justified exceptions are annotated in place with
+// `//lint:allow <analyzer> <reason>`. New cross-cutting invariants
+// ship with an analyzer, not a comment. See DESIGN.md, "Enforced
+// invariants".
+//
 // Executables: cmd/amdahl-opt (optimal patterns), cmd/amdahl-sim
 // (Monte-Carlo pricing of one pattern), cmd/amdahl-exp (regenerate the
 // paper's figures plus the profile, baseline and robustness extension

@@ -80,6 +80,7 @@ func main() {
 
 	best := m.ExpectedMakespan(wTotal, num.T, num.P)
 	for _, pn := range plans {
+		//lint:allow frozenloop four-row report table, one probe per plan — not a hot path
 		h := m.Overhead(pn.t, pn.p)
 		mk := m.ExpectedMakespan(wTotal, pn.t, pn.p)
 		tb.AddRow(pn.name, report.Fmt(pn.p), report.Fmt(pn.t), report.Fmt(h),

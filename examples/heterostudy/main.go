@@ -59,6 +59,7 @@ func main() {
 		"comm", "G", "P total", "accel share", "H hetero", "H single", "gain")
 	for _, comm := range experiments.DefaultHeteroComms {
 		tp := experiments.HeteroStudyTopology(pl, comm, 0.25)
+		//lint:allow frozenloop one compile per distinct comm topology; the solver runs on the compiled model
 		hm, err := hetero.CompileTopology(tp, sc, alpha, downtime)
 		if err != nil {
 			log.Fatal(err)

@@ -1,0 +1,125 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+)
+
+// panicCheck flags every panic call: a minimal analyzer that exercises
+// the driver and the //lint:allow machinery without depending on the
+// real rule set.
+var panicCheck = &Analyzer{
+	Name: "paniccheck",
+	Doc:  "flags panic calls (test analyzer)",
+	Run: func(pass *Pass) error {
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				if call, ok := n.(*ast.CallExpr); ok {
+					if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+						pass.Reportf(call.Pos(), "panic called")
+					}
+				}
+				return true
+			})
+		}
+		return nil
+	},
+}
+
+const directiveSrc = `package p
+
+func suppressedAbove() {
+	//lint:allow paniccheck justified: fixture exception
+	panic("a")
+}
+
+func unsuppressed() {
+	panic("b")
+}
+
+func malformedDirective() {
+	//lint:allow paniccheck
+	panic("c")
+}
+
+func staleDirective() {
+	//lint:allow paniccheck nothing on the next line triggers
+	_ = 1
+}
+
+func suppressedSameLine() {
+	panic("e") //lint:allow paniccheck justified: end-of-line form
+}
+
+func otherAnalyzer() {
+	//lint:allow frozenloop aimed at an analyzer not running in this pass
+	_ = 2
+}
+`
+
+func loadSrc(t *testing.T, src string) *Package {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "directive_test_src.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := newTypesInfo()
+	conf := &types.Config{}
+	tpkg, err := conf.Check("p", fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Package{
+		ImportPath: "p",
+		Fset:       fset,
+		Files:      []*ast.File{f},
+		Types:      tpkg,
+		TypesInfo:  info,
+	}
+}
+
+func TestDirectiveMachinery(t *testing.T) {
+	pkg := loadSrc(t, directiveSrc)
+	diags, err := Run([]*Package{pkg}, []*Analyzer{panicCheck})
+	if err != nil {
+		t.Fatal(err)
+	}
+	type wantDiag struct {
+		analyzer string
+		contains string
+	}
+	wants := []wantDiag{
+		{"paniccheck", "panic called"},          // unsuppressed()
+		{"lintdirective", "missing reason"},     // malformedDirective's bare allow
+		{"paniccheck", "panic called"},          // malformedDirective's panic (bad allow suppresses nothing)
+		{"lintdirective", "suppresses nothing"}, // staleDirective
+	}
+	if len(diags) != len(wants) {
+		for _, d := range diags {
+			t.Logf("got: %s", d)
+		}
+		t.Fatalf("got %d diagnostics, want %d", len(diags), len(wants))
+	}
+	for i, w := range wants {
+		if diags[i].Analyzer != w.analyzer || !strings.Contains(diags[i].Message, w.contains) {
+			t.Errorf("diagnostic %d = %s, want analyzer %q containing %q",
+				i, diags[i], w.analyzer, w.contains)
+		}
+	}
+}
+
+func TestRunReportsNothingOnCleanCode(t *testing.T) {
+	pkg := loadSrc(t, "package p\n\nfunc ok() int { return 1 }\n")
+	diags, err := Run([]*Package{pkg}, []*Analyzer{panicCheck})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 0 {
+		t.Fatalf("clean package produced diagnostics: %v", diags)
+	}
+}

@@ -1,0 +1,139 @@
+// Package analysistest is the fixture harness for amdahl-lint
+// analyzers, speaking the same `// want "regexp"` dialect as
+// golang.org/x/tools/go/analysis/analysistest: a fixture package under
+// testdata/src/<name> annotates each line that must be flagged with a
+// trailing
+//
+//	// want "regexp"
+//
+// comment (several quoted regexps for several diagnostics on one line).
+// Run loads the fixture through the real loader — imports of module
+// packages such as amdahlyd/internal/core resolve against real export
+// data, so the fixtures type-check against the actual API the analyzers
+// match on — runs the analyzer plus the //lint:allow machinery, and
+// fails the test on any mismatch in either direction.
+package analysistest
+
+import (
+	"fmt"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"testing"
+
+	"amdahlyd/internal/analyzers/analysis"
+)
+
+// Run checks the analyzer against the fixture packages, each a directory
+// name under dir/src (conventionally dir is "testdata").
+func Run(t *testing.T, dir string, a *analysis.Analyzer, fixtures ...string) {
+	t.Helper()
+	root, err := moduleRoot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, fixture := range fixtures {
+		t.Run(a.Name+"/"+fixture, func(t *testing.T) {
+			t.Helper()
+			pkg, err := analysis.LoadDir(root, filepath.Join(dir, "src", fixture))
+			if err != nil {
+				t.Fatal(err)
+			}
+			diags, err := analysis.Run([]*analysis.Package{pkg}, []*analysis.Analyzer{a})
+			if err != nil {
+				t.Fatal(err)
+			}
+			check(t, pkg, diags)
+		})
+	}
+}
+
+// moduleRoot walks up from the working directory to the enclosing
+// go.mod, so fixture imports resolve no matter which package runs the
+// test.
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("analysistest: no go.mod above working directory")
+		}
+		dir = parent
+	}
+}
+
+// want is one expectation: a diagnostic at file:line matching re.
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	met  bool
+}
+
+// Both quoting forms of the x/tools dialect are accepted: "..." with
+// backslash escapes, and raw `...`.
+var wantRE = regexp.MustCompile("//\\s*want((?:\\s+(?:\"(?:[^\"\\\\]|\\\\.)*\"|`[^`]*`))+)")
+var quotedRE = regexp.MustCompile("\"((?:[^\"\\\\]|\\\\.)*)\"|`([^`]*)`")
+
+// parseWants extracts expectations from every comment in the package.
+func parseWants(pkg *analysis.Package) ([]*want, error) {
+	var wants []*want
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				for _, qm := range quotedRE.FindAllStringSubmatch(m[1], -1) {
+					expr := qm[1]
+					if qm[2] != "" {
+						expr = qm[2]
+					}
+					re, err := regexp.Compile(expr)
+					if err != nil {
+						return nil, fmt.Errorf("%s: bad want regexp %q: %v", pos, expr, err)
+					}
+					wants = append(wants, &want{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	return wants, nil
+}
+
+func check(t *testing.T, pkg *analysis.Package, diags []analysis.Diagnostic) {
+	t.Helper()
+	wants, err := parseWants(pkg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		if !matchWant(wants, d.Position, d.Message) {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.met {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.re)
+		}
+	}
+}
+
+func matchWant(wants []*want, pos token.Position, msg string) bool {
+	for _, w := range wants {
+		if !w.met && w.file == pos.Filename && w.line == pos.Line && w.re.MatchString(msg) {
+			w.met = true
+			return true
+		}
+	}
+	return false
+}

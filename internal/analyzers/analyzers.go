@@ -1,0 +1,37 @@
+// Package analyzers is amdahl-lint's rule set: five repo-specific
+// analyzers, each mechanically enforcing an invariant this codebase
+// previously enforced only by reviewer memory.
+//
+//	frozenloop  — PR-1 two-tier rule: no Model.Overhead / Model.Freeze /
+//	              hetero.CompileTopology inside loop bodies; hot loops
+//	              run on a core.Frozen compiled once per P.
+//	nanguard    — the twice-recurred float-validation bug class: a
+//	              rejection gated on x <= 0 (or x < lo || x > hi) is
+//	              false for NaN, so NaN passes validation.
+//	atomicwrite — PR-6 durability rule: artifact/report writes go
+//	              through internal/atomicio, never os.Create and kin.
+//	rawrand     — bit-identity contract: randomness comes from
+//	              internal/rng streams, never math/rand.
+//	keyfmt      — cache-key canonicalization: float parameters in key
+//	              builders use core.FormatFloatKey's exact-hex token,
+//	              never %v/%g/%f.
+//
+// The repo rule going forward (ROADMAP): a new invariant ships with an
+// analyzer here, not with a comment. Legitimate exceptions carry
+// //lint:allow <analyzer> <reason> on or directly above the flagged
+// line; the runner rejects reasons that are missing and directives that
+// no longer suppress anything.
+package analyzers
+
+import "amdahlyd/internal/analyzers/analysis"
+
+// All returns the full amdahl-lint suite in stable order.
+func All() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		AtomicWrite,
+		FrozenLoop,
+		KeyFmt,
+		NaNGuard,
+		RawRand,
+	}
+}

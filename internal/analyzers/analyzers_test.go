@@ -1,0 +1,44 @@
+package analyzers
+
+import (
+	"testing"
+
+	"amdahlyd/internal/analyzers/analysistest"
+)
+
+func TestFrozenLoop(t *testing.T) {
+	analysistest.Run(t, "testdata", FrozenLoop, "frozenloop")
+}
+
+func TestNaNGuard(t *testing.T) {
+	analysistest.Run(t, "testdata", NaNGuard, "nanguard")
+}
+
+func TestAtomicWrite(t *testing.T) {
+	analysistest.Run(t, "testdata", AtomicWrite, "atomicwrite")
+}
+
+func TestRawRand(t *testing.T) {
+	analysistest.Run(t, "testdata", RawRand, "rawrand")
+}
+
+func TestKeyFmt(t *testing.T) {
+	analysistest.Run(t, "testdata", KeyFmt, "keyfmt")
+}
+
+func TestAllIsStableAndNamed(t *testing.T) {
+	all := All()
+	if len(all) != 5 {
+		t.Fatalf("All() returned %d analyzers, want 5", len(all))
+	}
+	seen := map[string]bool{}
+	for _, a := range all {
+		if a.Name == "" || a.Doc == "" || a.Run == nil {
+			t.Errorf("analyzer %+v missing name, doc or run", a)
+		}
+		if seen[a.Name] {
+			t.Errorf("duplicate analyzer name %q", a.Name)
+		}
+		seen[a.Name] = true
+	}
+}

@@ -1,0 +1,104 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+
+	"amdahlyd/internal/analyzers/analysis"
+)
+
+const atomicioPath = "amdahlyd/internal/atomicio"
+
+// AtomicWrite enforces the PR-6 durability rule: every artifact and
+// report write goes through internal/atomicio's write-temp-fsync-rename
+// scheme, so a crash at any instant leaves either the previous file or
+// the complete new one. Direct os.Create / os.WriteFile calls, write-
+// capable os.OpenFile modes and bufio writers wrapped directly around an
+// *os.File bypass that guarantee and are flagged outside internal/
+// atomicio itself. Genuinely non-atomic sinks (the campaign's append-
+// only journal, whose records are individually checksummed) carry a
+// //lint:allow atomicwrite annotation with the reason.
+var AtomicWrite = &analysis.Analyzer{
+	Name: "atomicwrite",
+	Doc: "flags direct file writes (os.Create, os.WriteFile, writable os.OpenFile, " +
+		"bufio over *os.File) outside internal/atomicio; artifacts go through atomicio.WriteFile",
+	Run: runAtomicWrite,
+}
+
+func runAtomicWrite(pass *analysis.Pass) error {
+	if pass.Pkg.Path() == atomicioPath {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(pass, call)
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			switch fn.Pkg().Path() {
+			case "os":
+				switch fn.Name() {
+				case "Create", "WriteFile":
+					pass.Reportf(call.Pos(),
+						"os.%s writes the target file in place; route the artifact through internal/atomicio "+
+							"(WriteFile/WriteFileBytes) so a crash cannot leave it truncated (PR-6 durability rule)",
+						fn.Name())
+				case "OpenFile":
+					if len(call.Args) == 3 && opensForWrite(pass, call.Args[1]) {
+						pass.Reportf(call.Pos(),
+							"os.OpenFile with a writable mode bypasses internal/atomicio's temp-fsync-rename scheme; "+
+								"route the write through atomicio or annotate the exception (PR-6 durability rule)")
+					}
+				}
+			case "bufio":
+				if (fn.Name() == "NewWriter" || fn.Name() == "NewWriterSize") &&
+					len(call.Args) > 0 && isOSFile(pass, call.Args[0]) {
+					pass.Reportf(call.Pos(),
+						"bufio.%s directly over an *os.File buffers an in-place write; route the artifact "+
+							"through internal/atomicio, which buffers and fsyncs the temp file for you (PR-6 durability rule)",
+						fn.Name())
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// opensForWrite reports whether the os.OpenFile flag argument statically
+// includes O_WRONLY or O_RDWR. A non-constant flag expression is treated
+// as write-capable: the analyzer cannot prove it read-only, and every
+// legitimate dynamic open deserves an explicit annotation anyway.
+func opensForWrite(pass *analysis.Pass, flagArg ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[flagArg]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.Int {
+		return true
+	}
+	v, ok := constant.Int64Val(tv.Value)
+	if !ok {
+		return true
+	}
+	// O_RDONLY is 0 and O_WRONLY|O_RDWR occupy the low two bits on every
+	// platform Go supports.
+	return v&3 != 0
+}
+
+// isOSFile reports whether e's static type is *os.File.
+func isOSFile(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok {
+		return false
+	}
+	ptr, ok := tv.Type.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	return ok && named.Obj().Pkg() != nil &&
+		named.Obj().Pkg().Path() == "os" && named.Obj().Name() == "File"
+}

@@ -1,0 +1,136 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+
+	"amdahlyd/internal/analyzers/analysis"
+)
+
+const (
+	corePath   = "amdahlyd/internal/core"
+	heteroPath = "amdahlyd/internal/hetero"
+)
+
+// FrozenLoop enforces the PR-1 two-tier rule: Model.Overhead,
+// Model.Freeze and hetero.CompileTopology are spec-layer entry points
+// that re-derive the compiled kernel on every call, so they must not
+// appear lexically inside a for/range body (loop condition and post
+// statement included — both run per iteration) outside internal/core
+// itself. Hot loops take a core.Frozen compiled once per P — see the
+// memoized probe closures in internal/optimize for the blessed idiom,
+// which this purely lexical check deliberately leaves alone.
+var FrozenLoop = &analysis.Analyzer{
+	Name: "frozenloop",
+	Doc: "flags Model.Overhead/Model.Freeze/hetero.CompileTopology calls inside loop bodies " +
+		"(freeze once per P outside the loop; hot loops run on core.Frozen)",
+	Run: runFrozenLoop,
+}
+
+func runFrozenLoop(pass *analysis.Pass) error {
+	if pass.Pkg.Path() == corePath {
+		return nil
+	}
+	for _, f := range pass.Files {
+		scanLoops(f, false, func(call *ast.CallExpr) {
+			if name := frozenAPIName(pass, call); name != "" {
+				pass.Reportf(call.Pos(),
+					"%s called inside a loop; compile once outside the loop and run the loop on core.Frozen (PR-1 two-tier rule)",
+					name)
+			}
+		})
+	}
+	return nil
+}
+
+// scanLoops walks n reporting every call expression whose lexical
+// position is inside a per-iteration region of a for or range statement.
+func scanLoops(n ast.Node, inLoop bool, visit func(*ast.CallExpr)) {
+	ast.Inspect(n, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.ForStmt:
+			if s.Init != nil {
+				scanLoops(s.Init, inLoop, visit) // runs once
+			}
+			if s.Cond != nil {
+				scanLoops(s.Cond, true, visit)
+			}
+			if s.Post != nil {
+				scanLoops(s.Post, true, visit)
+			}
+			scanLoops(s.Body, true, visit)
+			return false
+		case *ast.RangeStmt:
+			scanLoops(s.X, inLoop, visit) // evaluated once
+			if s.Key != nil {
+				scanLoops(s.Key, true, visit)
+			}
+			if s.Value != nil {
+				scanLoops(s.Value, true, visit)
+			}
+			scanLoops(s.Body, true, visit)
+			return false
+		case *ast.CallExpr:
+			if inLoop {
+				visit(s)
+			}
+		}
+		return true
+	})
+}
+
+// frozenAPIName resolves the callee and returns its display name when it
+// is one of the frozen-layer entry points, "" otherwise.
+func frozenAPIName(pass *analysis.Pass, call *ast.CallExpr) string {
+	fn := calleeFunc(pass, call)
+	if fn == nil || fn.Pkg() == nil {
+		return ""
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return ""
+	}
+	switch fn.Pkg().Path() {
+	case corePath:
+		if (fn.Name() == "Overhead" || fn.Name() == "Freeze") &&
+			recvNamed(sig) == "Model" {
+			return "core.Model." + fn.Name()
+		}
+	case heteroPath:
+		if fn.Name() == "CompileTopology" && sig.Recv() == nil {
+			return "hetero.CompileTopology"
+		}
+	}
+	return ""
+}
+
+// calleeFunc resolves a call's static callee, if it is a declared
+// function or method (as opposed to a function-typed value).
+func calleeFunc(pass *analysis.Pass, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		fn, _ := pass.TypesInfo.Uses[fun.Sel].(*types.Func)
+		return fn
+	case *ast.Ident:
+		fn, _ := pass.TypesInfo.Uses[fun].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// recvNamed returns the name of the method receiver's base named type,
+// or "" for plain functions and non-named receivers.
+func recvNamed(sig *types.Signature) string {
+	recv := sig.Recv()
+	if recv == nil {
+		return ""
+	}
+	t := recv.Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj().Name()
+	}
+	return ""
+}

@@ -1,0 +1,207 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"amdahlyd/internal/analyzers/analysis"
+)
+
+// NaNGuard catches the float-validation bug class that recurred in PR 5
+// (SingleLevelCosts) and PR 7 (Platform.Validate): a rejection of the
+// form
+//
+//	if x <= 0 { return err }           // or: if x < lo || x > hi
+//
+// is false for NaN x — every ordered comparison with NaN is false — so
+// NaN sails through validation and corrupts everything downstream. The
+// analyzer flags if-statements that (a) immediately reject (return an
+// error / a NaN sentinel, or panic) and (b) gate that rejection on an
+// ordered comparison of a non-constant float operand that is never
+// NaN-checked (math.IsNaN or the x != x idiom) in the same function.
+//
+// The repo's blessed form inverts the acceptance instead, so NaN fails
+// validation by construction and the analyzer stays quiet:
+//
+//	if !(x > 0) { return err }
+var NaNGuard = &analysis.Analyzer{
+	Name: "nanguard",
+	Doc: "flags float validation conditionals (x < lo || x > hi, x <= 0) that reject " +
+		"out-of-range values but let NaN through; write !(x in range) or add math.IsNaN",
+	Run: runNaNGuard,
+}
+
+func runNaNGuard(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				checkFuncNaN(pass, fd.Body)
+			}
+		}
+	}
+	return nil
+}
+
+func checkFuncNaN(pass *analysis.Pass, body *ast.BlockStmt) {
+	// Every expression the function NaN-checks anywhere, keyed by printed
+	// form: math.IsNaN(x), the x != x idiom, and any ordered comparison
+	// under a negation — the repo's blessed !(x > 0) form is itself a NaN
+	// guard (NaN makes the inner comparison false, so the negation
+	// rejects it), and once a function has rejected NaN x that way, later
+	// positive comparisons of x are unreachable with NaN.
+	guarded := map[string]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.CallExpr:
+			if fn := calleeFunc(pass, e); fn != nil && fn.Pkg() != nil &&
+				fn.Pkg().Path() == "math" && fn.Name() == "IsNaN" && len(e.Args) == 1 {
+				guarded[types.ExprString(e.Args[0])] = true
+			}
+		case *ast.BinaryExpr:
+			if e.Op == token.NEQ && types.ExprString(e.X) == types.ExprString(e.Y) {
+				guarded[types.ExprString(e.X)] = true
+			}
+		case *ast.UnaryExpr:
+			if e.Op == token.NOT {
+				for _, cmp := range orderedComparisons(e.X) {
+					guarded[types.ExprString(cmp.X)] = true
+					guarded[types.ExprString(cmp.Y)] = true
+				}
+			}
+		}
+		return true
+	})
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		ifStmt, ok := n.(*ast.IfStmt)
+		if !ok || !isRejection(pass, ifStmt.Body) {
+			return true
+		}
+		for _, cmp := range positiveComparisons(ifStmt.Cond) {
+			for _, operand := range []ast.Expr{cmp.X, cmp.Y} {
+				if !isNonConstFloat(pass, operand) || guarded[types.ExprString(operand)] {
+					continue
+				}
+				pass.Reportf(cmp.Pos(),
+					"validation %q rejects out-of-range %s but passes NaN (ordered comparisons with NaN are always false); "+
+						"write the acceptance as !(%s in range) or add a math.IsNaN check (bug class of PR 5 and PR 7)",
+					types.ExprString(ifStmt.Cond), types.ExprString(operand), types.ExprString(operand))
+				return true // one diagnostic per if statement
+			}
+		}
+		return true
+	})
+}
+
+// positiveComparisons returns the ordered float comparisons reachable
+// from cond through && and || without crossing a negation: exactly the
+// comparisons that are false when an operand is NaN and thereby make a
+// reject-branch unreachable. Comparisons under ! have the opposite
+// effect (NaN ends up rejected), so the blessed !(x > 0) form — and any
+// subexpression of it — is never reported.
+func positiveComparisons(cond ast.Expr) []*ast.BinaryExpr {
+	var out []*ast.BinaryExpr
+	var walk func(e ast.Expr)
+	walk = func(e ast.Expr) {
+		switch e := ast.Unparen(e).(type) {
+		case *ast.BinaryExpr:
+			switch e.Op {
+			case token.LAND, token.LOR:
+				walk(e.X)
+				walk(e.Y)
+			case token.LSS, token.GTR, token.LEQ, token.GEQ:
+				out = append(out, e)
+			}
+		}
+	}
+	walk(cond)
+	return out
+}
+
+// orderedComparisons returns every ordered comparison anywhere inside e.
+func orderedComparisons(e ast.Expr) []*ast.BinaryExpr {
+	var out []*ast.BinaryExpr
+	ast.Inspect(e, func(n ast.Node) bool {
+		if b, ok := n.(*ast.BinaryExpr); ok {
+			switch b.Op {
+			case token.LSS, token.GTR, token.LEQ, token.GEQ:
+				out = append(out, b)
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// isRejection reports whether the if-body is a validation rejection: its
+// first statement returns a non-nil error or a NaN sentinel, or panics.
+func isRejection(pass *analysis.Pass, body *ast.BlockStmt) bool {
+	if len(body.List) == 0 {
+		return false
+	}
+	switch s := body.List[0].(type) {
+	case *ast.ReturnStmt:
+		for _, res := range s.Results {
+			if isErrorExpr(pass, res) || isNaNCall(pass, res) {
+				return true
+			}
+		}
+		return false
+	case *ast.ExprStmt:
+		call, ok := s.X.(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		ident, ok := ast.Unparen(call.Fun).(*ast.Ident)
+		if !ok {
+			return false
+		}
+		_, isBuiltin := pass.TypesInfo.Uses[ident].(*types.Builtin)
+		return isBuiltin && ident.Name == "panic"
+	}
+	return false
+}
+
+// isErrorExpr reports whether e has static type error and is not the
+// literal nil (returning a nil error is a success path, not a
+// rejection).
+func isErrorExpr(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.IsNil() {
+		return false
+	}
+	named, ok := tv.Type.(*types.Named)
+	return ok && named.Obj().Pkg() == nil && named.Obj().Name() == "error"
+}
+
+// isNaNCall matches math.NaN() — the rejection sentinel of the
+// closed-form helpers that return a value rather than an error.
+func isNaNCall(pass *analysis.Pass, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	fn := calleeFunc(pass, call)
+	return fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "math" && fn.Name() == "NaN"
+}
+
+// isNonConstFloat reports whether e is a non-constant, parameter-like
+// expression (identifier, field selector or index) of floating-point
+// type — the operands a caller-supplied NaN flows through directly.
+// Compound expressions (math.Abs(f+s-1), derived sums) are deliberately
+// out of scope: their inputs are what validation must catch, and
+// flagging every arithmetic comparison would drown the real signal.
+func isNonConstFloat(pass *analysis.Pass, e ast.Expr) bool {
+	switch ast.Unparen(e).(type) {
+	case *ast.Ident, *ast.SelectorExpr, *ast.IndexExpr:
+	default:
+		return false
+	}
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Value != nil {
+		return false
+	}
+	basic, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && basic.Info()&types.IsFloat != 0
+}

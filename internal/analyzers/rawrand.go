@@ -1,0 +1,43 @@
+package analyzers
+
+import (
+	"strconv"
+
+	"amdahlyd/internal/analyzers/analysis"
+)
+
+const rngPath = "amdahlyd/internal/rng"
+
+// RawRand enforces the determinism/bit-identity contract: all randomness
+// flows through internal/rng (xoshiro256** seeded via SplitMix64, with
+// named deterministic stream splitting), so the same experiment produces
+// bit-identical results on any machine at any GOMAXPROCS. math/rand and
+// math/rand/v2 give no such guarantee — rand/v2's global functions are
+// seeded non-deterministically by design — so importing either anywhere
+// but internal/rng is flagged.
+var RawRand = &analysis.Analyzer{
+	Name: "rawrand",
+	Doc: "flags math/rand and math/rand/v2 imports outside internal/rng; " +
+		"deterministic streams come from internal/rng (bit-identity contract)",
+	Run: runRawRand,
+}
+
+func runRawRand(pass *analysis.Pass) error {
+	if pass.Pkg.Path() == rngPath {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, spec := range f.Imports {
+			path, err := strconv.Unquote(spec.Path.Value)
+			if err != nil {
+				continue
+			}
+			if path == "math/rand" || path == "math/rand/v2" {
+				pass.Reportf(spec.Pos(),
+					"import of %s outside internal/rng breaks the bit-identity contract; "+
+						"draw from an internal/rng stream (rng.New / Rand.Split) instead", path)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,33 @@
+package analyzers
+
+import (
+	"testing"
+
+	"amdahlyd/internal/analyzers/analysis"
+)
+
+// TestRepoSelfCheck runs the full amdahl-lint suite over the repository
+// and requires zero diagnostics: every invariant the analyzers encode is
+// either honoured or carries a justified //lint:allow. This is the test
+// that makes a future PR fail the moment it violates a routing rule —
+// the same gate CI enforces through scripts/lint.sh, kept in-tree so
+// `go test ./...` alone catches it.
+func TestRepoSelfCheck(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module")
+	}
+	pkgs, err := analysis.Load(".", "amdahlyd/...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) < 10 {
+		t.Fatalf("loaded only %d packages; the module has far more — loader regression?", len(pkgs))
+	}
+	diags, err := analysis.Run(pkgs, All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+}

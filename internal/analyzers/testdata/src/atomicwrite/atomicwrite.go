@@ -1,0 +1,57 @@
+// Fixtures for the atomicwrite analyzer: direct file writes outside
+// internal/atomicio.
+package atomicwrite
+
+import (
+	"bufio"
+	"os"
+
+	"amdahlyd/internal/atomicio"
+)
+
+func badCreate(path string) error {
+	f, err := os.Create(path) // want `os\.Create writes the target file in place`
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	_, err = f.WriteString("x")
+	return err
+}
+
+func badWriteFile(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o644) // want `os\.WriteFile writes the target file in place`
+}
+
+func badOpenAppend(path string) (*os.File, error) {
+	return os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644) // want `os\.OpenFile with a writable mode`
+}
+
+func badOpenDynamic(path string, flags int) (*os.File, error) {
+	return os.OpenFile(path, flags, 0o644) // want `os\.OpenFile with a writable mode`
+}
+
+func badBufio(f *os.File) *bufio.Writer {
+	return bufio.NewWriter(f) // want `bufio\.NewWriter directly over an \*os\.File`
+}
+
+func badBufioSize(f *os.File) *bufio.Writer {
+	return bufio.NewWriterSize(f, 1<<16) // want `bufio\.NewWriterSize directly over an \*os\.File`
+}
+
+func goodReadOnly(path string) (*os.File, error) {
+	return os.OpenFile(path, os.O_RDONLY, 0)
+}
+
+func goodRead(path string) ([]byte, error) {
+	return os.ReadFile(path)
+}
+
+func goodAtomic(path string, data []byte) error {
+	return atomicio.WriteFileBytes(path, data)
+}
+
+func suppressed(path string) (*os.File, error) {
+	//lint:allow atomicwrite fixture: append-only journal, every record self-checksummed
+	return os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+}

@@ -1,0 +1,82 @@
+// Fixtures for the frozenloop analyzer: spec-layer entry points
+// (core.Model.Overhead, core.Model.Freeze, hetero.CompileTopology) must
+// not be called lexically inside for/range bodies.
+package frozenloop
+
+import (
+	"amdahlyd/internal/core"
+	"amdahlyd/internal/costmodel"
+	"amdahlyd/internal/hetero"
+	"amdahlyd/internal/platform"
+)
+
+func sumOverheads(m core.Model, ps []float64) float64 {
+	s := 0.0
+	for _, p := range ps {
+		s += m.Overhead(100, p) // want `core\.Model\.Overhead called inside a loop`
+	}
+	for i := 0; i < 4; i++ {
+		fz := m.Freeze(float64(i + 1)) // want `core\.Model\.Freeze called inside a loop`
+		s += fz.Overhead(100)
+	}
+	return s
+}
+
+func compileMany(tps []platform.Topology, sc costmodel.Scenario) int {
+	n := 0
+	for _, tp := range tps {
+		if _, err := hetero.CompileTopology(tp, sc, 0.1, 60); err == nil { // want `hetero\.CompileTopology called inside a loop`
+			n++
+		}
+	}
+	return n
+}
+
+// The loop condition and post statement run once per iteration and are
+// flagged like the body; the init statement runs once and is not.
+func condAndPost(m core.Model) int {
+	n := 0
+	for x := m.Overhead(100, 2); m.Overhead(100, 8) > x; x += m.Overhead(100, 16) { // want `core\.Model\.Overhead` `core\.Model\.Overhead`
+		n++
+	}
+	return n
+}
+
+// A function literal defined inside a loop body is still lexically
+// inside the loop.
+func literalInLoop(m core.Model, ps []float64) {
+	for _, p := range ps {
+		f := func() float64 { return m.Overhead(100, p) } // want `core\.Model\.Overhead called inside a loop`
+		_ = f()
+	}
+}
+
+// The blessed two-tier idiom: Freeze once outside, run the loop on the
+// compiled core.Frozen (whose Overhead method is a different receiver
+// and stays quiet).
+func frozenFast(m core.Model, ts []float64) float64 {
+	fz := m.Freeze(64)
+	s := 0.0
+	for _, t := range ts {
+		s += fz.Overhead(t)
+	}
+	return s
+}
+
+// A closure handed to a runner (the parallelFor pattern) is not
+// lexically inside a for body and is deliberately left alone.
+func callbackPattern(m core.Model, run func(fn func(i int))) {
+	run(func(i int) {
+		_ = m.Overhead(100, float64(i+1))
+	})
+}
+
+// A documented exception is suppressed by //lint:allow with a reason.
+func suppressed(m core.Model, ps []float64) float64 {
+	s := 0.0
+	for _, p := range ps {
+		//lint:allow frozenloop fixture: plan-time compile, executed once per cell
+		s += m.Overhead(100, p)
+	}
+	return s
+}

@@ -1,0 +1,136 @@
+// Fixtures for the nanguard analyzer: float validations that reject
+// out-of-range values but let NaN through.
+package nanguard
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+func badLower(t float64) error {
+	if t <= 0 { // want `rejects out-of-range t but passes NaN`
+		return errors.New("bad t")
+	}
+	return nil
+}
+
+func badRange(x, lo, hi float64) error {
+	if x < lo || x > hi { // want `passes NaN`
+		return fmt.Errorf("x outside range")
+	}
+	return nil
+}
+
+func badSentinel(c float64) float64 {
+	if c <= 0 { // want `passes NaN`
+		return math.NaN()
+	}
+	return math.Sqrt(c)
+}
+
+func badPanic(p float64) float64 {
+	if p < 1 { // want `passes NaN`
+		panic("p < 1")
+	}
+	return p
+}
+
+func badConjunction(t, p float64) error {
+	if t <= 0 && p >= 1 { // want `passes NaN`
+		return errors.New("bad pattern")
+	}
+	return nil
+}
+
+// The blessed form: invert the acceptance, so a NaN operand makes the
+// inner comparison false and the rejection fires.
+func goodInverted(t float64) error {
+	if !(t > 0) {
+		return errors.New("bad t")
+	}
+	return nil
+}
+
+// An explicit NaN check in the same condition is a guard.
+func goodGuardedSameCond(t float64) error {
+	if math.IsNaN(t) || t <= 0 {
+		return errors.New("bad t")
+	}
+	return nil
+}
+
+// ... as is one anywhere else in the same function,
+func goodGuardedEarlier(t float64) error {
+	if math.IsNaN(t) {
+		return errors.New("NaN t")
+	}
+	if t <= 0 {
+		return errors.New("bad t")
+	}
+	return nil
+}
+
+// ... and the x != x idiom.
+func goodSelfCompare(t float64) error {
+	if t != t || t <= 0 {
+		return errors.New("bad t")
+	}
+	return nil
+}
+
+// A !(x ...) rejection anywhere in the function already catches NaN x,
+// so a later positive comparison of the same operand is fine — the
+// common `!(shape >= lo) || shape > hi` disjunction is NaN-rejecting.
+func goodNegationGuard(shape float64) error {
+	if !(shape >= 0.1) || shape > 10 {
+		return errors.New("shape outside range")
+	}
+	return nil
+}
+
+// Compound operands (derived arithmetic, math.Abs of validated fields)
+// are out of scope: validation must catch the inputs, not every
+// downstream consistency check.
+func goodCompound(f, s float64) error {
+	if !(f >= 0) || !(s >= 0) {
+		return errors.New("bad fractions")
+	}
+	if math.Abs(f+s-1) > 1e-3 {
+		return errors.New("fractions must sum to 1")
+	}
+	return nil
+}
+
+// Ordinary float control flow neither returns an error nor a NaN
+// sentinel and stays quiet.
+func goodControlFlow(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Integers cannot be NaN.
+func goodInt(n int) error {
+	if n <= 0 {
+		return errors.New("bad n")
+	}
+	return nil
+}
+
+// Constant-only comparisons cannot carry a NaN either.
+func goodConst(debug bool) error {
+	if debug && 1 < 2 {
+		return errors.New("unreachable")
+	}
+	return nil
+}
+
+func suppressed(t float64) error {
+	//lint:allow nanguard fixture: caller proves t finite
+	if t <= 0 {
+		return errors.New("bad t")
+	}
+	return nil
+}

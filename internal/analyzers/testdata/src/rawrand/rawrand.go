@@ -1,0 +1,19 @@
+// Fixtures for the rawrand analyzer: math/rand imports outside
+// internal/rng.
+package rawrand
+
+import (
+	"math/rand" // want `import of math/rand outside internal/rng`
+
+	randv2 "math/rand/v2" // want `import of math/rand/v2 outside internal/rng`
+
+	"amdahlyd/internal/rng"
+)
+
+func badDraw() float64 {
+	return rand.Float64() + randv2.Float64()
+}
+
+func goodDraw(seed uint64) float64 {
+	return rng.New(seed).Float64()
+}

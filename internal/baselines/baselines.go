@@ -31,7 +31,7 @@ import (
 // With no silent errors and a free verification, Theorem 1 degenerates to
 // exactly this formula (a property the tests verify).
 func YoungPeriod(c, mtbf float64) float64 {
-	if c <= 0 || mtbf <= 0 {
+	if !(c > 0) || !(mtbf > 0) {
 		return math.NaN()
 	}
 	return math.Sqrt(2 * c * mtbf)
@@ -43,7 +43,7 @@ func YoungPeriod(c, mtbf float64) float64 {
 //	T = sqrt(2Cμ)·(1 + (1/3)·sqrt(C/(2μ)) + (1/9)·(C/(2μ))) − C    if C < 2μ
 //	T = μ                                                          otherwise
 func DalyPeriod(c, mtbf float64) float64 {
-	if c <= 0 || mtbf <= 0 {
+	if !(c > 0) || !(mtbf > 0) {
 		return math.NaN()
 	}
 	if c >= 2*mtbf {
@@ -102,8 +102,11 @@ func plan(m core.Model, p float64, period func(c, mtbf float64) float64) (YoungD
 	if err := m.Validate(); err != nil {
 		return YoungDalyPlan{}, err
 	}
+	if !(p >= 1) || math.IsInf(p, 0) {
+		return YoungDalyPlan{}, fmt.Errorf("baselines: invalid processor count P=%g", p)
+	}
 	lf, _ := m.Rates(p)
-	if lf <= 0 {
+	if !(lf > 0) {
 		return YoungDalyPlan{}, errors.New("baselines: fail-stop rate is zero; Young/Daly undefined")
 	}
 	cv := m.Res.CombinedVC(p)
@@ -134,7 +137,7 @@ func IterativeRelaxation(m core.Model, tol float64, maxIter int) (core.Solution,
 	if err := m.Validate(); err != nil {
 		return core.Solution{}, 0, err
 	}
-	if tol <= 0 {
+	if !(tol > 0) {
 		tol = 1e-9
 	}
 	if maxIter <= 0 {
@@ -142,7 +145,7 @@ func IterativeRelaxation(m core.Model, tol float64, maxIter int) (core.Solution,
 	}
 	fs := m.FailStopFrac/2 + m.SilentFrac
 	lam := m.LambdaInd
-	if lam <= 0 || fs <= 0 {
+	if !(lam > 0) || !(fs > 0) {
 		return core.Solution{}, 0, errors.New("baselines: relaxation needs positive error rates")
 	}
 
@@ -161,7 +164,7 @@ func IterativeRelaxation(m core.Model, tol float64, maxIter int) (core.Solution,
 	p := 1.0
 	for iter := 1; iter <= maxIter; iter++ {
 		d := m.Res.CombinedVC(p)
-		if d <= 0 {
+		if !(d > 0) {
 			return core.Solution{}, iter, errors.New("baselines: non-positive frozen cost")
 		}
 		var next float64
@@ -179,6 +182,7 @@ func IterativeRelaxation(m core.Model, tol float64, maxIter int) (core.Solution,
 			t := math.Sqrt(m.Res.CombinedVC(next) / (fs * lam * next))
 			return core.Solution{
 				T: t, P: next,
+				//lint:allow frozenloop executed once, at convergence — the loop exits on this return
 				Overhead: m.Overhead(t, next),
 				Method:   "iterative-relaxation",
 				Class:    m.Res.Classify().Class,

@@ -1,0 +1,71 @@
+package baselines
+
+import (
+	"math"
+	"testing"
+
+	"amdahlyd/internal/core"
+	"amdahlyd/internal/costmodel"
+)
+
+// The baseline entry points take raw floats from callers (CLI flags,
+// service requests); every one of them must reject NaN and infinities
+// rather than let them poison the period formulas (nanguard's bug
+// class — the original `c <= 0 || mtbf <= 0` forms passed NaN).
+func TestPeriodsRejectNonFiniteInputs(t *testing.T) {
+	cases := []struct {
+		name    string
+		c, mtbf float64
+	}{
+		{"NaN C", math.NaN(), 3600},
+		{"-Inf C", math.Inf(-1), 3600},
+		{"zero C", 0, 3600},
+		{"NaN MTBF", 300, math.NaN()},
+		{"-Inf MTBF", 300, math.Inf(-1)},
+		{"zero MTBF", 300, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := YoungPeriod(tc.c, tc.mtbf); !math.IsNaN(got) {
+				t.Errorf("YoungPeriod(%g, %g) = %g, want NaN", tc.c, tc.mtbf, got)
+			}
+			if got := DalyPeriod(tc.c, tc.mtbf); !math.IsNaN(got) {
+				t.Errorf("DalyPeriod(%g, %g) = %g, want NaN", tc.c, tc.mtbf, got)
+			}
+		})
+	}
+}
+
+func TestPlansRejectNonFiniteProcessorCount(t *testing.T) {
+	m := heraModel(t, costmodel.Scenario1, 0.1)
+	for _, p := range []float64{math.NaN(), math.Inf(1), math.Inf(-1), 0} {
+		if _, err := PlanYoung(m, p); err == nil {
+			t.Errorf("PlanYoung(P=%g) accepted", p)
+		}
+		if _, err := PlanDaly(m, p); err == nil {
+			t.Errorf("PlanDaly(P=%g) accepted", p)
+		}
+	}
+}
+
+func TestIterativeRelaxationRejectsNonFiniteModel(t *testing.T) {
+	good := heraModel(t, costmodel.Scenario1, 0.1)
+	mutations := []func(m *core.Model){
+		func(m *core.Model) { m.LambdaInd = math.NaN() },
+		func(m *core.Model) { m.LambdaInd = math.Inf(1) },
+		func(m *core.Model) { m.FailStopFrac = math.NaN() },
+		func(m *core.Model) { m.SilentFrac = math.NaN() },
+	}
+	for i, mutate := range mutations {
+		m := good
+		mutate(&m)
+		if _, _, err := IterativeRelaxation(m, 1e-9, 100); err == nil {
+			t.Errorf("case %d: invalid model accepted", i)
+		}
+	}
+	// A NaN tolerance must fall back to the default instead of disabling
+	// the convergence test forever.
+	if _, _, err := IterativeRelaxation(good, math.NaN(), 100); err != nil {
+		t.Errorf("NaN tolerance should fall back to default, got %v", err)
+	}
+}

@@ -180,6 +180,7 @@ func Expand(manifest Manifest) (*Plan, error) {
 							}
 							cell.Comm = tp.Comm
 							cell.Lambda = math.NaN()
+							//lint:allow frozenloop plan-time compile, one per grid cell's distinct topology
 							cell.Hetero, err = hetero.CompileTopology(tp, sc, cell.Alpha, cell.Downtime)
 							if err != nil {
 								return nil, fmt.Errorf("campaign: cell %s/%v/%s=%g: %w",

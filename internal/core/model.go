@@ -58,10 +58,10 @@ func (m Model) Validate() error {
 	if !(m.LambdaInd >= 0) || math.IsInf(m.LambdaInd, 0) {
 		return fmt.Errorf("core: λ_ind = %g must be finite and non-negative", m.LambdaInd)
 	}
-	if m.FailStopFrac < 0 || m.FailStopFrac > 1 {
+	if !(m.FailStopFrac >= 0 && m.FailStopFrac <= 1) {
 		return fmt.Errorf("core: f = %g outside [0,1]", m.FailStopFrac)
 	}
-	if m.SilentFrac < 0 || m.SilentFrac > 1 {
+	if !(m.SilentFrac >= 0 && m.SilentFrac <= 1) {
 		return fmt.Errorf("core: s = %g outside [0,1]", m.SilentFrac)
 	}
 	if math.Abs(m.FailStopFrac+m.SilentFrac-1) > 1e-3 {

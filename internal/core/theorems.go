@@ -71,11 +71,11 @@ func (m Model) OverheadAtOptimalPeriod(p float64) float64 {
 //
 // The caller provides α and the linear coefficient c.
 func FirstOrderLinearCost(alpha, c, f, s, lambdaInd float64) (Solution, error) {
-	if alpha <= 0 || alpha >= 1 {
+	if !(alpha > 0 && alpha < 1) {
 		return Solution{}, fmt.Errorf("core: Theorem 2 needs 0 < α < 1, got %g: %w",
 			alpha, ErrNoFirstOrder)
 	}
-	if c <= 0 || lambdaInd <= 0 {
+	if !(c > 0) || !(lambdaInd > 0) {
 		return Solution{}, fmt.Errorf("core: Theorem 2 needs c > 0 and λ_ind > 0")
 	}
 	fs := f/2 + s
@@ -95,11 +95,11 @@ func FirstOrderLinearCost(alpha, c, f, s, lambdaInd float64) (Solution, error) {
 //	T* = ( d² / ((f/2+s)·λ_ind) )^{1/3} · ( α/(1−α) )^{1/3}
 //	H* = α + 3·( α²(1−α)·d·(f/2+s)·λ_ind )^{1/3}
 func FirstOrderConstantCost(alpha, d, f, s, lambdaInd float64) (Solution, error) {
-	if alpha <= 0 || alpha >= 1 {
+	if !(alpha > 0 && alpha < 1) {
 		return Solution{}, fmt.Errorf("core: Theorem 3 needs 0 < α < 1, got %g: %w",
 			alpha, ErrNoFirstOrder)
 	}
-	if d <= 0 || lambdaInd <= 0 {
+	if !(d > 0) || !(lambdaInd > 0) {
 		return Solution{}, fmt.Errorf("core: Theorem 3 needs d > 0 and λ_ind > 0")
 	}
 	fs := f/2 + s

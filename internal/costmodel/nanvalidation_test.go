@@ -1,0 +1,33 @@
+package costmodel
+
+import (
+	"math"
+	"testing"
+)
+
+// Calibrate is the boundary where measured platform numbers enter the
+// model; NaN or infinite measurements must not produce a "calibrated"
+// resilience object. The original `pMeasured < 1 || cpMeasured <= 0`
+// form passed NaN straight through (nanguard's bug class).
+func TestCalibrateRejectsNonFiniteMeasurements(t *testing.T) {
+	cases := []struct {
+		name      string
+		p, cp, vp float64
+	}{
+		{"NaN P", math.NaN(), 300, 15.4},
+		{"-Inf P", math.Inf(-1), 300, 15.4},
+		{"zero P", 0, 300, 15.4},
+		{"NaN C_P", 512, math.NaN(), 15.4},
+		{"zero C_P", 512, 0, 15.4},
+		{"NaN V_P", 512, 300, math.NaN()},
+		{"negative V_P", 512, 300, -1},
+	}
+	for _, sc := range AllScenarios {
+		for _, tc := range cases {
+			if _, err := sc.Calibrate(tc.p, tc.cp, tc.vp, 3600); err == nil {
+				t.Errorf("%v.Calibrate rejected nothing for %s (P=%g, C_P=%g, V_P=%g)",
+					sc, tc.name, tc.p, tc.cp, tc.vp)
+			}
+		}
+	}
+}

@@ -68,7 +68,7 @@ func (s Scenario) Calibrate(pMeasured, cpMeasured, vpMeasured, downtime float64)
 	if !s.Valid() {
 		return Resilience{}, fmt.Errorf("costmodel: invalid %v", s)
 	}
-	if pMeasured < 1 || cpMeasured <= 0 || vpMeasured < 0 {
+	if !(pMeasured >= 1) || !(cpMeasured > 0) || !(vpMeasured >= 0) {
 		return Resilience{}, fmt.Errorf(
 			"costmodel: cannot calibrate from P=%g, C_P=%g, V_P=%g",
 			pMeasured, cpMeasured, vpMeasured)

@@ -124,6 +124,7 @@ func HeterogeneousStudyContext(ctx context.Context, pl platform.Platform, comms,
 	baseModels := make([]core.HeteroModel, len(scenarios))
 	basePlans := make([]hetero.PatternResult, len(scenarios))
 	for si, sc := range scenarios {
+		//lint:allow frozenloop one baseline compile per scenario; the optimizer runs on the compiled model
 		hm, err := hetero.CompileTopology(platform.SingleGroup(pl), sc, cfg.Alpha, cfg.Downtime)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: hetero/%s/%v baseline: %w", pl.Name, sc, err)
@@ -159,6 +160,7 @@ func HeterogeneousStudyContext(ctx context.Context, pl platform.Platform, comms,
 				return err
 			}
 			tp := HeteroStudyTopology(pl, comm, splits[pi])
+			//lint:allow frozenloop one compile per (scenario, split, comm) cell, each a distinct topology
 			hm, err := hetero.CompileTopology(tp, sc, cfg.Alpha, cfg.Downtime)
 			if err != nil {
 				return fmt.Errorf("experiments: hetero/%s/%v/split=%g/comm=%g: %w",

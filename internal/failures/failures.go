@@ -141,10 +141,10 @@ type Environment struct {
 // f·λ_ind·P and silent rate s·λ_ind·P, each with its own deterministic
 // rng sub-stream split from parent.
 func NewEnvironment(lambdaInd, f, s, procs float64, parent *rng.Rand) (*Environment, error) {
-	if lambdaInd < 0 || procs < 1 {
+	if !(lambdaInd >= 0) || !(procs >= 1) {
 		return nil, fmt.Errorf("failures: invalid λ_ind=%g or P=%g", lambdaInd, procs)
 	}
-	if f < 0 || s < 0 || math.Abs(f+s-1) > 1e-3 {
+	if !(f >= 0) || !(s >= 0) || math.Abs(f+s-1) > 1e-3 {
 		return nil, fmt.Errorf("failures: fractions f=%g, s=%g must sum to 1", f, s)
 	}
 	if parent == nil {
@@ -473,7 +473,7 @@ func ReadCSV(r io.Reader) (*Trace, error) {
 	if !math.IsNaN(horizon) {
 		// Strictly beyond only: a legacy trace whose horizon fell back to
 		// its last event time must survive a re-save/re-load round trip.
-		if n := len(tr.Events); n > 0 && tr.Events[n-1].Time > horizon {
+		if n := len(tr.Events); n > 0 && !(tr.Events[n-1].Time <= horizon) {
 			return nil, fmt.Errorf("failures: event at %g beyond declared horizon %g",
 				tr.Events[n-1].Time, horizon)
 		}

@@ -63,7 +63,7 @@ func (c Costs) Validate() error {
 			return errors.New("multilevel: negative or non-finite cost")
 		}
 	}
-	if c.C2 < c.C1 {
+	if !(c.C2 >= c.C1) {
 		return fmt.Errorf("multilevel: level-2 checkpoint (%g) cheaper than level-1 (%g)",
 			c.C2, c.C1)
 	}
@@ -105,10 +105,10 @@ func FirstOrder(c Costs, lambdaF, lambdaS, hOfP float64) (Plan, error) {
 	if err := c.Validate(); err != nil {
 		return Plan{}, err
 	}
-	if lambdaF <= 0 || lambdaS <= 0 {
+	if !(lambdaF > 0) || !(lambdaS > 0) {
 		return Plan{}, errors.New("multilevel: both error rates must be positive")
 	}
-	if hOfP <= 0 {
+	if !(hOfP > 0) {
 		return Plan{}, errors.New("multilevel: H(P) must be positive")
 	}
 	t := math.Sqrt((c.V + c.C1) / lambdaS)
@@ -190,10 +190,10 @@ func NewSimulator(c Costs, p Pattern, lambdaF, lambdaS float64) (*Simulator, err
 	if err := c.Validate(); err != nil {
 		return nil, err
 	}
-	if p.T <= 0 || p.K < 1 {
+	if !(p.T > 0) || p.K < 1 {
 		return nil, fmt.Errorf("multilevel: invalid pattern %+v", p)
 	}
-	if lambdaF < 0 || lambdaS < 0 {
+	if !(lambdaF >= 0) || !(lambdaS >= 0) {
 		return nil, errors.New("multilevel: negative rates")
 	}
 	return &Simulator{costs: c, lambdaF: lambdaF, lambdaS: lambdaS, pattern: p}, nil

@@ -100,7 +100,7 @@ func validateJoint(m core.Model) error {
 	if err := m.Validate(); err != nil {
 		return err
 	}
-	if m.LambdaInd <= 0 || m.FailStopFrac <= 0 || m.SilentFrac <= 0 {
+	if !(m.LambdaInd > 0) || !(m.FailStopFrac > 0) || !(m.SilentFrac > 0) {
 		return errors.New(
 			"multilevel: the two-level analysis needs positive fail-stop and silent rates")
 	}

@@ -44,7 +44,7 @@ func SemiAnalyticOptimum(m core.Model, opts PatternOptions) (core.Solution, erro
 	}
 	p := res.X
 	t := m.OptimalPeriodFixedP(p)
-	if math.IsInf(t, 0) || t <= 0 {
+	if math.IsInf(t, 0) || !(t > 0) {
 		return core.Solution{}, errors.New("optimize: degenerate period at semi-analytic optimum")
 	}
 	return core.Solution{

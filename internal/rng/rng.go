@@ -126,7 +126,7 @@ func (r *Rand) Intn(n int) int {
 // Exp returns an exponential variate with the given rate (mean 1/rate),
 // via inversion: −log(U)/rate. It panics for non-positive rates.
 func (r *Rand) Exp(rate float64) float64 {
-	if rate <= 0 {
+	if !(rate > 0) {
 		panic("rng: Exp with non-positive rate")
 	}
 	return -math.Log(r.Float64Open()) / rate

@@ -502,6 +502,7 @@ func (s *Server) handleHeteroSimulate(w http.ResponseWriter, r *http.Request) {
 	gout := make([]HeteroGroupSimJSON, len(plan))
 	predicted := 0.0
 	for i, gp := range plan {
+		//lint:allow frozenloop response assembly: one probe per group, each on its own per-group model
 		h := runs[i].Model.Overhead(gp.T, gp.P)
 		if gh := gp.Fraction * h; gh > predicted {
 			predicted = gh

@@ -3,6 +3,7 @@ package sim
 import (
 	"errors"
 	"fmt"
+	"math"
 	"sync"
 
 	"amdahlyd/internal/core"
@@ -83,7 +84,7 @@ func newMachine(m core.Model, t float64, procs int, dist failures.Distribution) 
 	if err := m.Validate(); err != nil {
 		return nil, err
 	}
-	if t <= 0 || procs < 1 {
+	if !(t > 0) || math.IsInf(t, 0) || procs < 1 {
 		return nil, fmt.Errorf("sim: invalid machine pattern T=%g, P=%d", t, procs)
 	}
 	p := float64(procs)

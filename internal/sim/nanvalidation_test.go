@@ -1,0 +1,62 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"amdahlyd/internal/costmodel"
+	"amdahlyd/internal/failures"
+)
+
+// Non-finite pattern parameters must be rejected by every simulator
+// constructor: an ordered comparison with NaN is always false, so the
+// naive `t <= 0 || p < 1` form silently accepted NaN and the simulation
+// looped on garbage (the bug class amdahl-lint's nanguard now flags).
+func TestSimulatorsRejectNonFinitePatterns(t *testing.T) {
+	m := heraModel(t, costmodel.Scenario1, 0.1)
+	tr := &failures.Trace{Horizon: 1e6}
+	cases := []struct {
+		name string
+		t, p float64
+	}{
+		{"NaN T", math.NaN(), 512},
+		{"+Inf T", math.Inf(1), 512},
+		{"-Inf T", math.Inf(-1), 512},
+		{"zero T", 0, 512},
+		{"NaN P", 6000, math.NaN()},
+		{"+Inf P", 6000, math.Inf(1)},
+		{"-Inf P", 6000, math.Inf(-1)},
+		{"zero P", 6000, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := NewProtocol(m, tc.t, tc.p); err == nil {
+				t.Errorf("NewProtocol(T=%g, P=%g) accepted", tc.t, tc.p)
+			}
+			if _, err := SimulateReplay(m, tc.t, tc.p, tr); err == nil {
+				t.Errorf("SimulateReplay(T=%g, P=%g) accepted", tc.t, tc.p)
+			}
+			// The machine simulator takes an integer processor count; only
+			// the float period can smuggle a NaN in.
+			if _, err := NewMachine(m, tc.t, 512); err == nil && !(tc.t > 0) {
+				t.Errorf("NewMachine(T=%g) accepted", tc.t)
+			}
+		})
+	}
+}
+
+func TestReplayRejectsNonFiniteHorizon(t *testing.T) {
+	m := heraModel(t, costmodel.Scenario1, 0.1)
+	for _, hor := range []float64{math.NaN(), 0, -1} {
+		if _, err := SimulateReplay(m, 6000, 512, &failures.Trace{Horizon: hor}); err == nil {
+			t.Errorf("trace with horizon %g accepted", hor)
+		}
+	}
+}
+
+func TestPatternStatsOverheadNaNPeriod(t *testing.T) {
+	st := PatternStats{Patterns: 3, Elapsed: 100}
+	if !math.IsNaN(st.Overhead(math.NaN(), 1.2)) {
+		t.Error("NaN period should yield NaN overhead")
+	}
+}

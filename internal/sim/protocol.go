@@ -59,7 +59,7 @@ func NewProtocol(m core.Model, t, p float64) (*Protocol, error) {
 	if err := m.Validate(); err != nil {
 		return nil, err
 	}
-	if p < 1 {
+	if !(p >= 1) || math.IsInf(p, 0) {
 		return nil, fmt.Errorf("sim: invalid pattern T=%g, P=%g", t, p)
 	}
 	fz := m.Freeze(p)
@@ -71,7 +71,7 @@ func NewProtocol(m core.Model, t, p float64) (*Protocol, error) {
 // the Frozen). This is the constructor the Monte-Carlo runner uses so the
 // rates and resilience costs are derived exactly once per (T, P).
 func NewProtocolFrozen(fz *core.Frozen, t float64) (*Protocol, error) {
-	if t <= 0 {
+	if !(t > 0) || math.IsInf(t, 0) {
 		return nil, fmt.Errorf("sim: invalid pattern T=%g, P=%g", t, fz.P)
 	}
 	if expectedIters(fz.LambdaF, fz.LambdaS, t, fz.V, fz.C, fz.R) > maxSimIters {
@@ -212,7 +212,7 @@ func (st PatternStats) MeanPatternTime() float64 {
 // execution overhead H(T, P) = E/T · H(P), given the error-free overhead
 // hOfP = H(P) of the profile at the simulated processor count.
 func (st PatternStats) Overhead(t, hOfP float64) float64 {
-	if st.Patterns == 0 || t <= 0 {
+	if st.Patterns == 0 || !(t > 0) {
 		return math.NaN()
 	}
 	return st.MeanPatternTime() / t * hOfP

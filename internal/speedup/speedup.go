@@ -166,7 +166,7 @@ func Validate(pr Profile) error {
 		if math.Abs(s*h-1) > 1e-9 {
 			return fmt.Errorf("speedup: %s has H(%g) ≠ 1/S(%g)", pr.Name(), p, p)
 		}
-		if s+1e-12 < prev {
+		if !(s+1e-12 >= prev) {
 			return fmt.Errorf("speedup: %s is decreasing at P = %g", pr.Name(), p)
 		}
 		prev = s

@@ -38,7 +38,7 @@ func ChiSquareGOF(observed []int64, expected []float64, ddof int) (ChiSquareResu
 	}
 	var stat float64
 	for i := range observed {
-		if expected[i] < 5 {
+		if !(expected[i] >= 5) {
 			return ChiSquareResult{}, errors.New(
 				"stats: expected count below 5; merge sparse bins before testing")
 		}
@@ -58,7 +58,7 @@ func ChiSquarePoisson(counts []int64, mean float64) (ChiSquareResult, error) {
 	if len(counts) == 0 {
 		return ChiSquareResult{}, ErrEmpty
 	}
-	if mean <= 0 {
+	if !(mean > 0) {
 		return ChiSquareResult{}, errors.New("stats: Poisson mean must be positive")
 	}
 	maxK := int64(0)

@@ -78,7 +78,7 @@ func NormalPDF(x float64) float64 {
 // ν >= 100 the normal quantile is a better-than-1e-4 approximation and is
 // used directly. conf must lie in (0, 1).
 func StudentTQuantile(conf float64, nu int) float64 {
-	if conf <= 0 || conf >= 1 || nu < 1 {
+	if !(conf > 0 && conf < 1) || nu < 1 {
 		return math.NaN()
 	}
 	p := 0.5 + conf/2 // one-sided quantile level

@@ -84,7 +84,7 @@ func Log1pExp(x float64) float64 {
 
 // LogExpm1 returns log(e^x − 1) for x > 0, stable for both tiny and huge x.
 func LogExpm1(x float64) float64 {
-	if x <= 0 {
+	if !(x > 0) {
 		return math.NaN()
 	}
 	if x > 35 {
@@ -203,7 +203,7 @@ func Linspace(lo, hi float64, n int) []float64 {
 // Logspace returns n points evenly spaced in log scale on [lo, hi]
 // inclusive. Both bounds must be positive and n at least 2.
 func Logspace(lo, hi float64, n int) []float64 {
-	if lo <= 0 || hi <= 0 {
+	if !(lo > 0) || !(hi > 0) {
 		panic("xmath: Logspace needs positive bounds")
 	}
 	pts := Linspace(math.Log(lo), math.Log(hi), n)
@@ -221,7 +221,7 @@ func GeometricMean(xs []float64) (float64, error) {
 	}
 	var s Sum
 	for _, x := range xs {
-		if x <= 0 {
+		if !(x > 0) {
 			return 0, ErrDomain
 		}
 		s.Add(math.Log(x))

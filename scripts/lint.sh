@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# lint.sh — build amdahl-lint and run the repo's invariant analyzers
+# over the whole module (see DESIGN.md "Enforced invariants" and
+# internal/analyzers for the rule set).
+#
+# Usage: scripts/lint.sh [packages...]
+#   packages default to ./... .
+#
+#        scripts/lint.sh -selfcheck [packages...]
+#   Gate-of-the-gate: before the real run, seed a known violation in a
+#   scratch package and require the suite to reject it, so a silently
+#   broken analyzer build cannot pass as "no findings".
+#
+# Exit status 1 on any diagnostic (after //lint:allow suppression),
+# matching `go vet`. The same binary also drives
+# `go vet -vettool=$(pwd)/amdahl-lint ./...` if you prefer vet's caching.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+bin="$(mktemp -d)"
+trap 'rm -rf "$bin"' EXIT
+go build -o "$bin/amdahl-lint" ./cmd/amdahl-lint
+
+if [ "${1:-}" = "-selfcheck" ]; then
+    shift
+    seed="$bin/seed"
+    mkdir -p "$seed"
+    cat >"$seed/seed.go" <<'EOF'
+package seed
+
+import "os"
+
+func violate() error { return os.WriteFile("x", nil, 0o644) }
+EOF
+    cat >"$seed/go.mod" <<'EOF'
+module seed
+
+go 1.24
+EOF
+    echo "lint.sh: self-check — seeded violation must be caught…" >&2
+    if (cd "$seed" && "$bin/amdahl-lint" ./...) >/dev/null 2>&1; then
+        echo "lint.sh: SELF-CHECK FAILED: analyzers missed a seeded violation" >&2
+        exit 2
+    fi
+    echo "lint.sh: self-check ok" >&2
+fi
+
+# No exec: the EXIT trap must still clean up the scratch dir.
+"$bin/amdahl-lint" "${@:-./...}"

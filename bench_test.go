@@ -7,13 +7,18 @@ import (
 	"math"
 	"net/http"
 	"net/http/httptest"
+	"sort"
+	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"amdahlyd/internal/baselines"
 	"amdahlyd/internal/core"
 	"amdahlyd/internal/costmodel"
 	"amdahlyd/internal/experiments"
 	"amdahlyd/internal/failures"
+	"amdahlyd/internal/fleet"
 	"amdahlyd/internal/hetero"
 	"amdahlyd/internal/multilevel"
 	"amdahlyd/internal/optimize"
@@ -645,4 +650,76 @@ func BenchmarkServiceSweepWarm(b *testing.B) {
 			b.Fatal("warm sweep missed the cache")
 		}
 	}
+}
+
+// BenchmarkFleetLoadGen is the fleet load generator: a 3-replica fleet
+// behind the consistent-hash router, driven concurrently with a fixed
+// mix of requests over 16 distinct models (warmed once, so the steady
+// state measured is the sharded-cache serving path — the fleet's whole
+// point). Beyond the gated ns/op (≈ mean request latency divided by the
+// load-generator parallelism), it reports fleet throughput (qps) and
+// client-observed tail latency (p50-ns, p99-ns), which bench.sh records
+// into BENCH_<N>.json.
+func BenchmarkFleetLoadGen(b *testing.B) {
+	peers := make(map[string]string, 3)
+	for i := 1; i <= 3; i++ {
+		ts := httptest.NewServer(service.NewServer(service.NewEngine(service.Options{})))
+		defer ts.Close()
+		peers[fmt.Sprintf("p%d", i)] = ts.URL
+	}
+	rt, err := fleet.NewRouter(fleet.RouterOptions{Peers: peers, HedgeAfter: -1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	front := httptest.NewServer(rt)
+	defer front.Close()
+	client := front.Client()
+
+	bodies := make([][]byte, 16)
+	for i := range bodies {
+		bodies[i] = []byte(fmt.Sprintf(
+			`{"model":{"platform":"hera","scenario":3,"alpha":%.17g}}`,
+			0.05+float64(i)*0.01))
+	}
+	do := func(body []byte) time.Duration {
+		start := time.Now()
+		resp, err := client.Post(front.URL+"/v1/optimize", "application/json", bytes.NewReader(body))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			b.Fatalf("status %d", resp.StatusCode)
+		}
+		if _, err := bytes.NewBuffer(nil).ReadFrom(resp.Body); err != nil {
+			b.Fatal(err)
+		}
+		resp.Body.Close()
+		return time.Since(start)
+	}
+	for _, body := range bodies {
+		do(body) // warm every shard once
+	}
+
+	var mu sync.Mutex
+	latencies := make([]time.Duration, 0, b.N)
+	var n atomic.Uint64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		local := make([]time.Duration, 0, 256)
+		for pb.Next() {
+			i := n.Add(1) - 1
+			local = append(local, do(bodies[i%uint64(len(bodies))]))
+		}
+		mu.Lock()
+		latencies = append(latencies, local...)
+		mu.Unlock()
+	})
+	b.StopTimer()
+	if len(latencies) == 0 {
+		return
+	}
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	b.ReportMetric(float64(len(latencies))/b.Elapsed().Seconds(), "qps")
+	b.ReportMetric(float64(latencies[len(latencies)/2]), "p50-ns")
+	b.ReportMetric(float64(latencies[len(latencies)*99/100]), "p99-ns")
 }

@@ -17,6 +17,13 @@
 // cells match per-cell optimization within the refinement tolerance, or
 // bitwise with "cold":true).
 //
+// With -router the same binary fronts a fleet of replicas instead of
+// serving itself: requests shard by canonical model key on a
+// consistent-hash ring, slow owners are hedged to their ring successor,
+// dead ones failed over with bounded backoff, and ring membership is
+// driven by /readyz health probes with peer warm-fill on rejoin
+// (internal/fleet).
+//
 // Usage:
 //
 //	amdahl-serve -addr :8080
@@ -26,6 +33,8 @@
 //	curl -s localhost:8080/v1/multilevel/optimize -d '{"model":{"platform":"hera","scenario":3},"in_mem_fraction":0.0667}'
 //	curl -s localhost:8080/v1/multilevel/simulate -d '{"model":{"platform":"hera","scenario":3},"runs":100,"seed":1}'
 //	curl -s localhost:8080/v1/stats
+//
+//	amdahl-serve -addr :8090 -router -peers a=http://h1:8080,b=http://h2:8080
 package main
 
 import (
@@ -35,10 +44,13 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/url"
 	"os"
 	"os/signal"
+	"strings"
 	"time"
 
+	"amdahlyd/internal/fleet"
 	"amdahlyd/internal/service"
 )
 
@@ -57,19 +69,48 @@ func run(args []string) error {
 	maxConcurrent := fs.Int("max-concurrent", 0, "concurrent optimize/simulate jobs (0 = GOMAXPROCS)")
 	maxQueued := fs.Int("max-queued", 0, "jobs waiting for a scheduler slot before shedding load with 503 (0 = 8×max-concurrent, negative = unbounded)")
 	simWorkers := fs.Int("sim-workers", 0, "worker pool per campaign (0 = 1; results are worker-count independent)")
+	shutdownTimeout := fs.Duration("shutdown-timeout", 15*time.Second, "graceful-shutdown budget: in-flight work (including NDJSON sweep streams) drains within it")
+	router := fs.Bool("router", false, "run as a fleet router over -peers instead of serving an engine")
+	peersFlag := fs.String("peers", "", "router mode: comma-separated replica base URLs, each \"name=url\" or bare \"url\"")
+	hedgeAfter := fs.Duration("hedge-after", 150*time.Millisecond, "router mode: hedge a slow owner to its ring successor after this long (negative disables)")
+	healthInterval := fs.Duration("health-interval", 500*time.Millisecond, "router mode: /readyz probe interval driving ring membership")
 	quiet := fs.Bool("quiet", false, "suppress per-request logging")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	engine := service.NewEngine(service.Options{
-		FrozenCacheSize: *frozenCache,
-		ResultCacheSize: *resultCache,
-		MaxConcurrent:   *maxConcurrent,
-		MaxQueued:       *maxQueued,
-		SimWorkers:      *simWorkers,
-	})
-	var handler http.Handler = service.NewServer(engine)
+	var handler http.Handler
+	var apiSrv *service.Server // replica mode only: owns the drain lifecycle
+	var checker *fleet.HealthChecker
+	if *router {
+		peers, err := parsePeers(*peersFlag)
+		if err != nil {
+			return err
+		}
+		rt, err := fleet.NewRouter(fleet.RouterOptions{
+			Peers:      peers,
+			HedgeAfter: *hedgeAfter,
+		})
+		if err != nil {
+			return err
+		}
+		checker = fleet.NewHealthChecker(rt.Ring(), peers, fleet.HealthOptions{
+			Interval: *healthInterval,
+		})
+		checker.Start()
+		defer checker.Stop()
+		handler = rt
+	} else {
+		engine := service.NewEngine(service.Options{
+			FrozenCacheSize: *frozenCache,
+			ResultCacheSize: *resultCache,
+			MaxConcurrent:   *maxConcurrent,
+			MaxQueued:       *maxQueued,
+			SimWorkers:      *simWorkers,
+		})
+		apiSrv = service.NewServer(engine)
+		handler = apiSrv
+	}
 	if !*quiet {
 		handler = logRequests(handler)
 	}
@@ -88,13 +129,17 @@ func run(args []string) error {
 
 	// Graceful shutdown: an interrupt stops accepting, lets in-flight
 	// requests finish (their own contexts still cancel on client
-	// hang-up), and forces exit after a grace period.
+	// hang-up), and forces exit after the -shutdown-timeout budget.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
 	errc := make(chan error, 1)
 	go func() {
-		log.Printf("amdahl-serve listening on %s", *addr)
+		mode := "replica"
+		if *router {
+			mode = "router"
+		}
+		log.Printf("amdahl-serve (%s) listening on %s", mode, *addr)
 		errc <- srv.ListenAndServe()
 	}()
 
@@ -103,8 +148,15 @@ func run(args []string) error {
 		return err
 	case <-ctx.Done():
 	}
-	log.Printf("amdahl-serve shutting down")
-	shutdownCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	log.Printf("amdahl-serve shutting down (budget %s)", *shutdownTimeout)
+	if apiSrv != nil {
+		// Flip /readyz to 503 now (routers stop sending work) and cut
+		// still-running sweep streams cleanly at a row boundary when 90% of
+		// the budget is gone — the remaining 10% lets http.Server.Shutdown
+		// flush the trailing error lines instead of racing them.
+		apiSrv.StartDrain(*shutdownTimeout * 9 / 10)
+	}
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *shutdownTimeout)
 	defer cancel()
 	if err := srv.Shutdown(shutdownCtx); err != nil {
 		return err
@@ -113,6 +165,35 @@ func run(args []string) error {
 		return err
 	}
 	return nil
+}
+
+// parsePeers decodes the -peers flag: comma-separated entries, each
+// "name=url" or a bare URL (named by its host:port).
+func parsePeers(s string) (map[string]string, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, errors.New("-router needs -peers")
+	}
+	peers := make(map[string]string)
+	for _, entry := range strings.Split(s, ",") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		name, base, ok := strings.Cut(entry, "=")
+		if !ok {
+			base = entry
+			u, err := url.Parse(entry)
+			if err != nil || u.Host == "" {
+				return nil, fmt.Errorf("-peers entry %q is not a URL (use name=url or an absolute url)", entry)
+			}
+			name = u.Host
+		}
+		if _, dup := peers[name]; dup {
+			return nil, fmt.Errorf("-peers names %q twice", name)
+		}
+		peers[name] = base
+	}
+	return peers, nil
 }
 
 // logRequests is a minimal request-log middleware.
@@ -133,4 +214,13 @@ type statusWriter struct {
 func (w *statusWriter) WriteHeader(status int) {
 	w.status = status
 	w.ResponseWriter.WriteHeader(status)
+}
+
+// Flush preserves the streaming capability the sweep and router paths
+// rely on — without it the logging wrapper would silently buffer NDJSON
+// rows until the response ends.
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
 }

@@ -1,0 +1,47 @@
+package backoff
+
+import (
+	"testing"
+	"time"
+)
+
+func TestDelayDeterministicAndBounded(t *testing.T) {
+	base := 100 * time.Millisecond
+	for attempt := 1; attempt <= 6; attempt++ {
+		d1 := Delay(base, attempt, 42)
+		d2 := Delay(base, attempt, 42)
+		if d1 != d2 {
+			t.Fatalf("attempt %d: nondeterministic delay %v vs %v", attempt, d1, d2)
+		}
+		lo := base << uint(attempt-1)
+		if d1 < lo || d1 >= 2*lo {
+			t.Fatalf("attempt %d: delay %v outside [%v, %v)", attempt, d1, lo, 2*lo)
+		}
+	}
+}
+
+func TestDelayClampsAttemptBelowOne(t *testing.T) {
+	if got, want := Delay(time.Second, 0, 7), Delay(time.Second, 1, 7); got != want {
+		t.Fatalf("attempt 0 should behave as 1: %v vs %v", got, want)
+	}
+}
+
+func TestJitterDecorrelatesSeeds(t *testing.T) {
+	// Different seeds must not share a jitter sequence (that is the whole
+	// point: co-failing cells back off at different times).
+	same := 0
+	for attempt := 1; attempt <= 16; attempt++ {
+		if Jitter(1, attempt) == Jitter(2, attempt) {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("%d of 16 attempts had identical jitter across seeds", same)
+	}
+	for attempt := 1; attempt <= 16; attempt++ {
+		j := Jitter(99, attempt)
+		if !(j >= 0 && j < 1) {
+			t.Fatalf("jitter %g outside [0,1)", j)
+		}
+	}
+}

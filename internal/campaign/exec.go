@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"amdahlyd/internal/atomicio"
+	"amdahlyd/internal/backoff"
 	"amdahlyd/internal/core"
 	"amdahlyd/internal/hetero"
 	"amdahlyd/internal/multilevel"
@@ -455,18 +456,11 @@ func (r *runner) price(ctx context.Context, c *Cell, a *Artifact) error {
 }
 
 // backoff is RetryBase·2^(attempt-1) plus up to 100% jitter derived
-// deterministically from the cell seed and attempt (splitmix64), so
-// co-failing cells decorrelate without making runs nondeterministic.
+// deterministically from the cell seed and attempt (splitmix64) — the
+// shared internal/backoff schedule — so co-failing cells decorrelate
+// without making runs nondeterministic.
 func (r *runner) backoff(c *Cell, attempt int) time.Duration {
-	d := r.opts.RetryBase << uint(attempt-1)
-	h := c.Seed + uint64(attempt)*0x9E3779B97F4A7C15
-	h ^= h >> 30
-	h *= 0xBF58476D1CE4E5B9
-	h ^= h >> 27
-	h *= 0x94D049BB133111EB
-	h ^= h >> 31
-	jitter := float64(h>>11) / (1 << 53)
-	return d + time.Duration(jitter*float64(d))
+	return backoff.Delay(r.opts.RetryBase, attempt, c.Seed)
 }
 
 // attempt runs one try: injected delay, injected failure, then the real

@@ -1,0 +1,268 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"amdahlyd/internal/service"
+)
+
+// HealthOptions tunes the checker. The zero value probes every 500 ms,
+// evicts after 2 consecutive failures and readmits after 2 consecutive
+// passes — eager enough that a killed replica leaves the ring within a
+// second, hysteretic enough that one dropped probe does not flap it.
+type HealthOptions struct {
+	// Interval between probe rounds (default 500 ms).
+	Interval time.Duration
+	// Timeout per probe (default Interval, so rounds never pile up).
+	Timeout time.Duration
+	// FailAfter consecutive failed probes evict a member (default 2).
+	FailAfter int
+	// RiseAfter consecutive passing probes readmit a non-member
+	// (default 2).
+	RiseAfter int
+	// Client issues the probes (default http.DefaultClient).
+	Client *http.Client
+	// WarmFillLimit caps entries pulled per warm-fill (default 256,
+	// the replica's own default; 0 keeps that default, negative
+	// disables warm-fill).
+	WarmFillLimit int
+}
+
+func (o HealthOptions) interval() time.Duration {
+	if o.Interval > 0 {
+		return o.Interval
+	}
+	return 500 * time.Millisecond
+}
+
+func (o HealthOptions) timeout() time.Duration {
+	if o.Timeout > 0 {
+		return o.Timeout
+	}
+	return o.interval()
+}
+
+func (o HealthOptions) failAfter() int {
+	if o.FailAfter > 0 {
+		return o.FailAfter
+	}
+	return 2
+}
+
+func (o HealthOptions) riseAfter() int {
+	if o.RiseAfter > 0 {
+		return o.RiseAfter
+	}
+	return 2
+}
+
+func (o HealthOptions) client() *http.Client {
+	if o.Client != nil {
+		return o.Client
+	}
+	return http.DefaultClient
+}
+
+// HealthChecker drives ring membership from each peer's /readyz: a
+// replica that stops answering (dead, draining, or saturated past its
+// queue) is evicted after FailAfter consecutive failed probes, and a
+// replica that comes back is warm-filled from its ring neighbour —
+// the member that owned its keyspace in its absence — before being
+// readmitted, so a rejoining peer takes traffic warm instead of paying
+// cold solves for keys its neighbour already has.
+type HealthChecker struct {
+	ring  *Ring
+	peers map[string]string // name → base URL
+	opts  HealthOptions
+
+	mu     sync.Mutex
+	fails  map[string]int
+	passes map[string]int
+	fills  int // completed warm-fills (test observability)
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// NewHealthChecker builds a checker over the same peer set as the
+// router; it drives the router's ring but owns no other router state.
+func NewHealthChecker(ring *Ring, peers map[string]string, opts HealthOptions) *HealthChecker {
+	return &HealthChecker{
+		ring:   ring,
+		peers:  peers,
+		opts:   opts,
+		fails:  make(map[string]int),
+		passes: make(map[string]int),
+	}
+}
+
+// Start launches the probe loop; Stop ends it.
+func (h *HealthChecker) Start() {
+	if h.stop != nil {
+		return
+	}
+	h.stop = make(chan struct{})
+	h.done = make(chan struct{})
+	go func() {
+		defer close(h.done)
+		t := time.NewTicker(h.opts.interval())
+		defer t.Stop()
+		for {
+			select {
+			case <-h.stop:
+				return
+			case <-t.C:
+				h.ProbeOnce(context.Background())
+			}
+		}
+	}()
+}
+
+// Stop terminates the probe loop and waits for it.
+func (h *HealthChecker) Stop() {
+	if h.stop == nil {
+		return
+	}
+	close(h.stop)
+	<-h.done
+	h.stop = nil
+}
+
+// Fills returns how many warm-fills have completed.
+func (h *HealthChecker) Fills() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.fills
+}
+
+// ProbeOnce runs one probe round across all peers (concurrently) and
+// applies the membership transitions. Exported so tests can step the
+// checker deterministically instead of sleeping through intervals.
+func (h *HealthChecker) ProbeOnce(ctx context.Context) {
+	type verdict struct {
+		peer string
+		ok   bool
+	}
+	results := make(chan verdict, len(h.peers))
+	for name, base := range h.peers {
+		go func(name, base string) {
+			results <- verdict{peer: name, ok: h.probe(ctx, base)}
+		}(name, base)
+	}
+	for range h.peers {
+		v := <-results
+		h.observe(v.peer, v.ok)
+	}
+}
+
+// probe is one readiness check: anything but a timely 200 is a failure
+// (a 503 from a draining or saturated replica deliberately reads as
+// "stop routing here", which is the point of the readiness split).
+func (h *HealthChecker) probe(ctx context.Context, base string) bool {
+	pctx, cancel := context.WithTimeout(ctx, h.opts.timeout())
+	defer cancel()
+	req, err := http.NewRequestWithContext(pctx, http.MethodGet, base+"/readyz", nil)
+	if err != nil {
+		return false
+	}
+	resp, err := h.opts.client().Do(req)
+	if err != nil {
+		return false
+	}
+	defer drainClose(resp)
+	return resp.StatusCode == http.StatusOK
+}
+
+// observe applies one probe verdict with hysteresis.
+func (h *HealthChecker) observe(peer string, ok bool) {
+	h.mu.Lock()
+	if !ok {
+		h.fails[peer]++
+		h.passes[peer] = 0
+		evict := h.fails[peer] >= h.opts.failAfter()
+		h.mu.Unlock()
+		if evict {
+			h.ring.Remove(peer)
+		}
+		return
+	}
+	h.fails[peer] = 0
+	h.passes[peer]++
+	join := h.passes[peer] >= h.opts.riseAfter() && !h.ring.Has(peer)
+	h.mu.Unlock()
+	if !join {
+		return
+	}
+	// Warm-fill before admission: once the peer is in the ring it takes
+	// traffic, so the fill must land first. The donor is computed against
+	// the current ring (peer absent): the member owning its keyspace now.
+	if h.opts.WarmFillLimit >= 0 {
+		if donor := h.ring.Neighbour(peer); donor != "" {
+			if _, err := WarmFill(context.Background(), h.opts.client(),
+				h.peers[donor], h.peers[peer], h.opts.WarmFillLimit); err == nil {
+				h.mu.Lock()
+				h.fills++
+				h.mu.Unlock()
+			}
+			// A failed fill is not a reason to keep a ready peer out of the
+			// ring: it joins cold, exactly as if it had no donor.
+		}
+	}
+	h.ring.Add(peer)
+}
+
+// WarmFill pulls up to limit hot cache entries from the donor replica
+// and pushes them into the joiner, returning how many the joiner
+// accepted. Sound end to end: entries are pure functions of their keys
+// and float64 survives the JSON hop bit-exactly, so a filled entry is
+// indistinguishable from one the joiner solved itself.
+func WarmFill(ctx context.Context, client *http.Client, donorURL, joinerURL string, limit int) (int, error) {
+	if client == nil {
+		client = http.DefaultClient
+	}
+	url := donorURL + "/v1/cache/hot"
+	if limit > 0 {
+		url = fmt.Sprintf("%s?limit=%d", url, limit)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return 0, fmt.Errorf("fleet: warm-fill pull from %s: %w", donorURL, err)
+	}
+	hot, err := io.ReadAll(io.LimitReader(resp.Body, 8<<20))
+	resp.Body.Close()
+	if err != nil {
+		return 0, fmt.Errorf("fleet: warm-fill pull from %s: %w", donorURL, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return 0, fmt.Errorf("fleet: warm-fill pull from %s: status %d", donorURL, resp.StatusCode)
+	}
+	preq, err := http.NewRequestWithContext(ctx, http.MethodPost, joinerURL+"/v1/cache/fill", bytes.NewReader(hot))
+	if err != nil {
+		return 0, err
+	}
+	preq.Header.Set("Content-Type", "application/json")
+	presp, err := client.Do(preq)
+	if err != nil {
+		return 0, fmt.Errorf("fleet: warm-fill push to %s: %w", joinerURL, err)
+	}
+	defer drainClose(presp)
+	if presp.StatusCode != http.StatusOK {
+		return 0, fmt.Errorf("fleet: warm-fill push to %s: status %d", joinerURL, presp.StatusCode)
+	}
+	var fr service.FillResponse
+	if err := json.NewDecoder(io.LimitReader(presp.Body, 1<<20)).Decode(&fr); err != nil {
+		return 0, fmt.Errorf("fleet: warm-fill push to %s: %w", joinerURL, err)
+	}
+	return fr.Accepted, nil
+}

@@ -134,6 +134,7 @@ type Engine struct {
 	queued       atomic.Int64
 	cancelled    atomic.Uint64
 	saturated    atomic.Uint64
+	cacheFills   atomic.Uint64
 }
 
 // NewEngine builds an engine with the given options.
@@ -516,6 +517,19 @@ func (e *Engine) release() {
 	<-e.sem
 }
 
+// Ready reports whether the scheduler would admit one more job without
+// shedding: a free executing slot, or room in the bounded wait queue (an
+// unbounded queue is always ready). It is the readiness half of the
+// health split — /readyz turns this false into a 503 so a fleet router
+// stops routing to a replica *before* it starts failing requests, while
+// /healthz keeps answering as long as the process lives.
+func (e *Engine) Ready() bool {
+	if len(e.sem) < cap(e.sem) {
+		return true
+	}
+	return e.queue == nil || len(e.queue) < cap(e.queue)
+}
+
 // Stats is the observable state of the engine.
 type Stats struct {
 	Evaluations             uint64     `json:"evaluations"`
@@ -531,6 +545,7 @@ type Stats struct {
 	Deduplicated            uint64     `json:"deduplicated"`
 	Cancelled               uint64     `json:"cancelled"`
 	Saturated               uint64     `json:"saturated"`
+	CacheFills              uint64     `json:"cache_fills"`
 	InFlight                int64      `json:"in_flight"`
 	Queued                  int64      `json:"queued"`
 	MaxConcurrent           int        `json:"max_concurrent"`
@@ -560,6 +575,7 @@ func (e *Engine) Stats() Stats {
 		Deduplicated:            e.flight.Deduped(),
 		Cancelled:               e.cancelled.Load(),
 		Saturated:               e.saturated.Load(),
+		CacheFills:              e.cacheFills.Load(),
 		InFlight:                e.inFlight.Load(),
 		Queued:                  e.queued.Load(),
 		MaxConcurrent:           e.opts.MaxConcurrent,

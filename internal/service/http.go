@@ -7,6 +7,8 @@ import (
 	"fmt"
 	"math"
 	"net/http"
+	"sync/atomic"
+	"time"
 
 	"amdahlyd/internal/core"
 	"amdahlyd/internal/costmodel"
@@ -313,11 +315,23 @@ func summaryJSON(s stats.Summary) SummaryJSON {
 type Server struct {
 	engine *Engine
 	mux    *http.ServeMux
+
+	// draining flips once StartDrain is called: /readyz starts answering
+	// 503 immediately (routers stop sending new work), while in-flight
+	// requests keep running until the drain grace expires.
+	draining atomic.Bool
+	// drainCtx is cancelled when the drain grace expires; long-lived
+	// streams (sweeps) watch it so they terminate cleanly — whole rows
+	// plus a trailing error line — instead of being cut mid-row by the
+	// http.Server teardown.
+	drainCtx    context.Context
+	drainCancel context.CancelFunc
 }
 
 // NewServer wires the endpoints onto a fresh mux.
 func NewServer(e *Engine) *Server {
 	s := &Server{engine: e, mux: http.NewServeMux()}
+	s.drainCtx, s.drainCancel = context.WithCancel(context.Background())
 	s.mux.HandleFunc("POST /v1/evaluate", s.handleEvaluate)
 	s.mux.HandleFunc("POST /v1/optimize", s.handleOptimize)
 	s.mux.HandleFunc("POST /v1/simulate", s.handleSimulate)
@@ -326,10 +340,33 @@ func NewServer(e *Engine) *Server {
 	s.mux.HandleFunc("POST /v1/multilevel/simulate", s.handleMultilevelSimulate)
 	s.mux.HandleFunc("POST /v1/hetero/optimize", s.handleHeteroOptimize)
 	s.mux.HandleFunc("POST /v1/hetero/simulate", s.handleHeteroSimulate)
+	s.mux.HandleFunc("GET /v1/cache/hot", s.handleCacheHot)
+	s.mux.HandleFunc("POST /v1/cache/fill", s.handleCacheFill)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /readyz", s.handleReady)
 	return s
 }
+
+// StartDrain begins a graceful drain: /readyz flips to 503 at once (so a
+// fleet router or health checker stops routing here before requests
+// start failing), and after grace the drain context is cancelled, which
+// cleanly terminates in-flight sweep streams at the next row boundary.
+// Call it before http.Server.Shutdown with a grace inside the shutdown
+// timeout; calling it again is a no-op.
+func (s *Server) StartDrain(grace time.Duration) {
+	if s.draining.Swap(true) {
+		return
+	}
+	if grace <= 0 {
+		s.drainCancel()
+		return
+	}
+	time.AfterFunc(grace, s.drainCancel)
+}
+
+// Draining reports whether StartDrain has been called.
+func (s *Server) Draining() bool { return s.draining.Load() }
 
 // Engine returns the underlying engine (for stats and tests).
 func (s *Server) Engine() *Engine { return s.engine }
@@ -598,6 +635,14 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 			models[i] = m
 		}
 	}
+	// Streams also answer to the drain lifecycle: once the server's drain
+	// grace expires the chain is cancelled at the next row boundary, and
+	// the client sees whole rows plus a trailing "draining" error line —
+	// never a row cut in half by process teardown.
+	ctx, cancel := context.WithCancel(r.Context())
+	defer cancel()
+	stopAfter := context.AfterFunc(s.drainCtx, cancel)
+	defer stopAfter()
 	// True streaming: each NDJSON row is written (and flushed) the moment
 	// its cell is solved, so the first row of a long axis reaches the
 	// client while the chain is still running, and a mid-stream hang-up
@@ -634,7 +679,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 			writeErr(w, http.StatusBadRequest, berr)
 			return
 		}
-		err = s.engine.HeteroSweepStream(r.Context(), heteroModels, hOpts.pattern(), req.Cold,
+		err = s.engine.HeteroSweepStream(ctx, heteroModels, hOpts.pattern(), req.Cold,
 			func(i int, c HeteroSweepCell) error {
 				return writeRow(i, SweepRow{
 					X:        req.Values[i],
@@ -659,7 +704,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		mlOpts := multilevel.PatternOptions{
 			PMin: req.Options.PMin, PMax: req.Options.PMax, IntegerP: req.Options.IntegerP,
 		}
-		err = s.engine.MultilevelSweepStream(r.Context(), models, req.Multilevel.fraction(), mlOpts, req.Cold,
+		err = s.engine.MultilevelSweepStream(ctx, models, req.Multilevel.fraction(), mlOpts, req.Cold,
 			func(i int, c MultilevelSweepCell) error {
 				return writeRow(i, SweepRow{
 					X:        req.Values[i],
@@ -675,7 +720,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 				})
 			})
 	} else {
-		err = s.engine.SweepStream(r.Context(), models, req.Options.pattern(), req.Cold,
+		err = s.engine.SweepStream(ctx, models, req.Options.pattern(), req.Cold,
 			func(i int, c SweepCell) error {
 				return writeRow(i, SweepRow{
 					X:        req.Values[i],
@@ -695,8 +740,19 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		if errors.Is(err, errClientGone) {
 			return // nobody left to tell
 		}
+		// A drain-expiry cancellation is the server's doing, not the
+		// client's: report it as such (503 before any rows, a clean
+		// trailing error line after) so the client can retry elsewhere.
+		if errors.Is(err, context.Canceled) && s.drainCtx.Err() != nil && r.Context().Err() == nil {
+			err = errDraining
+		}
 		if !wrote {
-			writeErr(w, statusFor(r.Context(), err), err)
+			status := statusFor(r.Context(), err)
+			if errors.Is(err, errDraining) {
+				w.Header().Set("Retry-After", "1")
+				status = http.StatusServiceUnavailable
+			}
+			writeErr(w, status, err)
 			return
 		}
 		// Rows already went out, so the status line is spent; degrade to a
@@ -705,6 +761,10 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		_, _ = w.Write(append(buf, '\n'))
 	}
 }
+
+// errDraining marks a stream terminated by the server's own drain
+// deadline rather than by the client.
+var errDraining = errors.New("service: server draining, stream terminated early")
 
 // errClientGone marks a response write that failed because the client
 // hung up mid-stream: the sweep chain stops, and there is no one left to
@@ -717,4 +777,27 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+}
+
+// ReadyResponse is the /readyz body: readiness plus the reason when not.
+type ReadyResponse struct {
+	Ready  bool   `json:"ready"`
+	Reason string `json:"reason,omitempty"`
+}
+
+// handleReady is readiness as distinct from liveness: 503 while the
+// scheduler is saturated or the server is draining, so a router or
+// health checker stops routing to this replica *before* requests start
+// coming back 503 — /healthz keeps reporting liveness regardless.
+func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
+	switch {
+	case s.draining.Load():
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusServiceUnavailable, ReadyResponse{Reason: "draining"})
+	case !s.engine.Ready():
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusServiceUnavailable, ReadyResponse{Reason: "scheduler saturated"})
+	default:
+		writeJSON(w, http.StatusOK, ReadyResponse{Ready: true})
+	}
 }

@@ -126,6 +126,48 @@ func (c *lruCache[V]) Add(key string, v V) {
 	}
 }
 
+// Hot returns up to max (key, value) pairs in roughly most-recently-used
+// order: each shard is walked from its recency head and the shards are
+// interleaved round-robin, so the result is a fair "hottest entries"
+// sample without a global recency list. Reading does not touch recency.
+// It is the export side of peer warm-fill: a joining fleet replica pulls
+// these entries from its neighbour instead of cold-solving them.
+func (c *lruCache[V]) Hot(max int) (keys []string, vals []V) {
+	if max <= 0 {
+		return nil, nil
+	}
+	perShard := make([][]*lruEntry[V], lruShards)
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		for e := s.head; e != nil && len(perShard[i]) < max; e = e.next {
+			perShard[i] = append(perShard[i], e)
+		}
+		// Copy key/value out under the lock; entries are immutable once
+		// inserted, so the values themselves are safe to share.
+		copied := make([]*lruEntry[V], len(perShard[i]))
+		for j, e := range perShard[i] {
+			copied[j] = &lruEntry[V]{key: e.key, val: e.val}
+		}
+		perShard[i] = copied
+		s.mu.Unlock()
+	}
+	for depth := 0; len(keys) < max; depth++ {
+		advanced := false
+		for i := 0; i < lruShards && len(keys) < max; i++ {
+			if depth < len(perShard[i]) {
+				keys = append(keys, perShard[i][depth].key)
+				vals = append(vals, perShard[i][depth].val)
+				advanced = true
+			}
+		}
+		if !advanced {
+			break
+		}
+	}
+	return keys, vals
+}
+
 // Len returns the current number of cached entries.
 func (c *lruCache[V]) Len() int {
 	n := 0

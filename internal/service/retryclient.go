@@ -1,0 +1,175 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"amdahlyd/internal/backoff"
+)
+
+// RetryClient is the client half of the load-shedding contract: the
+// server sheds with 503 + Retry-After when its bounded queue is full,
+// and this client converges on that signal — bounded attempts,
+// exponential backoff with deterministic splitmix64 jitter (the shared
+// internal/backoff schedule the campaign executor uses), and the
+// server's Retry-After honoured as a floor — instead of hammering a
+// saturated replica into a retry storm. The fleet router, the fleet
+// tests and any campaign-style HTTP driver all go through it.
+//
+// Only transport errors and explicitly-transient statuses (503, 502,
+// 504) are retried; every request in this API is idempotent (responses
+// are pure functions of the request), so replaying a request that may
+// have half-executed is always safe.
+type RetryClient struct {
+	// Client is the underlying HTTP client (default http.DefaultClient).
+	Client *http.Client
+	// MaxAttempts bounds total tries per call (default 4).
+	MaxAttempts int
+	// Base is the first backoff delay (default 50 ms); attempt n waits
+	// Base·2^(n-1) plus up to 100% deterministic jitter, or the server's
+	// Retry-After when that is longer.
+	Base time.Duration
+	// MaxDelay caps any single wait, including a server-requested
+	// Retry-After (default 2 s) — a misbehaving server must not park the
+	// client forever.
+	MaxDelay time.Duration
+	// Seed decorrelates the jitter streams of co-failing clients; a fleet
+	// router seeds each peer slot differently.
+	Seed uint64
+}
+
+func (c *RetryClient) client() *http.Client {
+	if c.Client != nil {
+		return c.Client
+	}
+	return http.DefaultClient
+}
+
+func (c *RetryClient) maxAttempts() int {
+	if c.MaxAttempts > 0 {
+		return c.MaxAttempts
+	}
+	return 4
+}
+
+func (c *RetryClient) base() time.Duration {
+	if c.Base > 0 {
+		return c.Base
+	}
+	return 50 * time.Millisecond
+}
+
+func (c *RetryClient) maxDelay() time.Duration {
+	if c.MaxDelay > 0 {
+		return c.MaxDelay
+	}
+	return 2 * time.Second
+}
+
+// RetryableStatus reports whether an HTTP status is transient by this
+// API's contract: 503 is the scheduler shedding load, 502/504 are a
+// dying or unreachable upstream.
+func RetryableStatus(status int) bool {
+	return status == http.StatusServiceUnavailable ||
+		status == http.StatusBadGateway ||
+		status == http.StatusGatewayTimeout
+}
+
+// RetryAfter parses a response's Retry-After header as delta-seconds,
+// returning 0 when absent or unparseable (HTTP-date forms are not used
+// by this API).
+func RetryAfter(resp *http.Response) time.Duration {
+	if resp == nil {
+		return 0
+	}
+	v := resp.Header.Get("Retry-After")
+	if v == "" {
+		return 0
+	}
+	secs, err := strconv.Atoi(v)
+	if err != nil || secs < 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
+}
+
+// Do sends the request, retrying transport errors and transient statuses
+// up to MaxAttempts with backoff. body is re-sent from the same bytes on
+// every attempt. The returned response's Body is open exactly when err
+// is nil or the final attempt ended in a non-OK status the caller wants
+// to inspect; retried responses are drained and closed internally.
+func (c *RetryClient) Do(ctx context.Context, method, url, contentType string, body []byte) (*http.Response, error) {
+	var lastErr error
+	for attempt := 1; ; attempt++ {
+		req, err := http.NewRequestWithContext(ctx, method, url, bytes.NewReader(body))
+		if err != nil {
+			return nil, err
+		}
+		if contentType != "" {
+			req.Header.Set("Content-Type", contentType)
+		}
+		resp, err := c.client().Do(req)
+		switch {
+		case err != nil:
+			lastErr = err
+		case !RetryableStatus(resp.StatusCode):
+			return resp, nil
+		default:
+			lastErr = fmt.Errorf("service: %s %s: transient status %d", method, url, resp.StatusCode)
+		}
+		if attempt >= c.maxAttempts() || ctx.Err() != nil {
+			if resp != nil && err == nil {
+				// Surface the final transient response (with its Retry-After)
+				// rather than hiding it behind an error string.
+				return resp, nil
+			}
+			return nil, fmt.Errorf("service: giving up after %d attempts: %w", attempt, lastErr)
+		}
+		delay := backoff.Delay(c.base(), attempt, c.Seed)
+		// Honour the server's Retry-After as a floor: it knows its queue.
+		if ra := RetryAfter(resp); ra > delay {
+			delay = ra
+		}
+		if lim := c.maxDelay(); delay > lim {
+			delay = lim
+		}
+		if resp != nil {
+			drainClose(resp)
+		}
+		select {
+		case <-time.After(delay):
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+}
+
+// Get is Do for GET requests.
+func (c *RetryClient) Get(ctx context.Context, url string) (*http.Response, error) {
+	return c.Do(ctx, http.MethodGet, url, "", nil)
+}
+
+// Post is Do for JSON POST requests.
+func (c *RetryClient) Post(ctx context.Context, url string, body []byte) (*http.Response, error) {
+	return c.Do(ctx, http.MethodPost, url, "application/json", body)
+}
+
+// drainClose discards a response body and closes it, keeping the
+// underlying connection reusable.
+func drainClose(resp *http.Response) {
+	const drainLimit = 1 << 20
+	buf := make([]byte, 4096)
+	var n int64
+	for {
+		k, err := resp.Body.Read(buf)
+		n += int64(k)
+		if err != nil || n > drainLimit {
+			break
+		}
+	}
+	resp.Body.Close()
+}

@@ -1,0 +1,215 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"amdahlyd/internal/hetero"
+	"amdahlyd/internal/multilevel"
+	"amdahlyd/internal/optimize"
+	"amdahlyd/internal/sim"
+)
+
+// Peer warm-fill: when a fleet replica joins (or rejoins) the ring, it
+// is cold — every request it now owns would pay a full solve that its
+// neighbour already paid. The router closes that gap by pulling the
+// neighbour's hottest result-cache entries (GET /v1/cache/hot) and
+// pushing them into the joiner (POST /v1/cache/fill).
+//
+// This is sound because every cached value is a pure function of its
+// canonical key (solves are deterministic, campaigns are seeded), so a
+// transferred entry is bit-identical to what the joiner would have
+// solved itself, and float64 fields survive the JSON hop exactly
+// (encoding/json emits the shortest representation that parses back to
+// the same bits). Compiled core.Frozen kernels are deliberately not
+// transferred: they are microseconds to rebuild and carry unexported
+// state.
+
+// Cache-entry kinds, one per transferable result cache.
+const (
+	KindOptimize           = "opt"
+	KindMultilevelOptimize = "mlopt"
+	KindHeteroOptimize     = "hgopt"
+	KindSimulate           = "sim"
+	KindMultilevelSimulate = "mlsim"
+	KindHeteroSimulate     = "hgsim"
+)
+
+// CacheEntry is one transferable cache entry: the canonical key, the
+// cache it lives in, and the typed value as raw JSON.
+type CacheEntry struct {
+	Kind  string          `json:"kind"`
+	Key   string          `json:"key"`
+	Value json.RawMessage `json:"value"`
+}
+
+// defaultHotLimit bounds a /v1/cache/hot response when the request does
+// not say; maxHotLimit bounds it regardless (a fill is a warm-up aid,
+// not a full cache dump).
+const (
+	defaultHotLimit = 256
+	maxHotLimit     = 4096
+)
+
+// ExportHot snapshots up to limit hot cache entries across the result
+// caches, optimizer results first (they are the expensive solves a cold
+// replica feels most), then campaign results with the remaining budget.
+func (e *Engine) ExportHot(limit int) []CacheEntry {
+	if limit <= 0 {
+		limit = defaultHotLimit
+	}
+	if limit > maxHotLimit {
+		limit = maxHotLimit
+	}
+	out := make([]CacheEntry, 0, limit)
+	appendEntries := func(kind string, keys []string, marshal func(i int) (json.RawMessage, error)) {
+		for i := range keys {
+			if len(out) >= limit {
+				return
+			}
+			raw, err := marshal(i)
+			if err != nil {
+				continue // an unrepresentable value is skipped, not fatal
+			}
+			out = append(out, CacheEntry{Kind: kind, Key: keys[i], Value: raw})
+		}
+	}
+	marshalAt := func(vals any) func(i int) (json.RawMessage, error) {
+		return func(i int) (json.RawMessage, error) {
+			switch vs := vals.(type) {
+			case []optimize.PatternResult:
+				return json.Marshal(vs[i])
+			case []multilevel.PatternResult:
+				return json.Marshal(vs[i])
+			case []hetero.PatternResult:
+				return json.Marshal(vs[i])
+			case []sim.RunResult:
+				return json.Marshal(vs[i])
+			case []multilevel.CampaignResult:
+				return json.Marshal(vs[i])
+			case []sim.HeteroRunResult:
+				return json.Marshal(vs[i])
+			}
+			return nil, fmt.Errorf("service: unknown hot-entry type %T", vals)
+		}
+	}
+	ok, ov := e.optimizes.Hot(limit)
+	appendEntries(KindOptimize, ok, marshalAt(ov))
+	mk, mv := e.mlOptimizes.Hot(limit - len(out))
+	appendEntries(KindMultilevelOptimize, mk, marshalAt(mv))
+	hk, hv := e.hgOptimizes.Hot(limit - len(out))
+	appendEntries(KindHeteroOptimize, hk, marshalAt(hv))
+	sk, sv := e.sims.Hot(limit - len(out))
+	appendEntries(KindSimulate, sk, marshalAt(sv))
+	msk, msv := e.mlSims.Hot(limit - len(out))
+	appendEntries(KindMultilevelSimulate, msk, marshalAt(msv))
+	hsk, hsv := e.hgSims.Hot(limit - len(out))
+	appendEntries(KindHeteroSimulate, hsk, marshalAt(hsv))
+	return out
+}
+
+// ImportHot inserts transferred entries into the matching result caches,
+// returning how many were accepted. Entries with an unknown kind, a key
+// that does not carry a service namespace, or a value that does not
+// decode as the kind's result type are rejected individually — one bad
+// entry must not abort a fill. Fills never count as solves: optimize and
+// simulate call counters are untouched, only the cache_fills stat moves.
+func (e *Engine) ImportHot(entries []CacheEntry) (int, error) {
+	accepted := 0
+	for _, en := range entries {
+		// Every legitimate key is "<versioned model key>#<namespace>#…":
+		// keys are opaque to the fleet, but a missing namespace marker means
+		// the entry cannot have come from ExportHot.
+		if en.Key == "" || !strings.Contains(en.Key, "#") {
+			continue
+		}
+		switch en.Kind {
+		case KindOptimize:
+			var v optimize.PatternResult
+			if json.Unmarshal(en.Value, &v) == nil {
+				e.optimizes.Add(en.Key, v)
+				accepted++
+			}
+		case KindMultilevelOptimize:
+			var v multilevel.PatternResult
+			if json.Unmarshal(en.Value, &v) == nil {
+				e.mlOptimizes.Add(en.Key, v)
+				accepted++
+			}
+		case KindHeteroOptimize:
+			var v hetero.PatternResult
+			if json.Unmarshal(en.Value, &v) == nil {
+				e.hgOptimizes.Add(en.Key, v)
+				accepted++
+			}
+		case KindSimulate:
+			var v sim.RunResult
+			if json.Unmarshal(en.Value, &v) == nil {
+				e.sims.Add(en.Key, v)
+				accepted++
+			}
+		case KindMultilevelSimulate:
+			var v multilevel.CampaignResult
+			if json.Unmarshal(en.Value, &v) == nil {
+				e.mlSims.Add(en.Key, v)
+				accepted++
+			}
+		case KindHeteroSimulate:
+			var v sim.HeteroRunResult
+			if json.Unmarshal(en.Value, &v) == nil {
+				e.hgSims.Add(en.Key, v)
+				accepted++
+			}
+		}
+	}
+	e.cacheFills.Add(uint64(accepted))
+	return accepted, nil
+}
+
+// handleCacheHot serves the warm-fill export: GET /v1/cache/hot?limit=N.
+func (s *Server) handleCacheHot(w http.ResponseWriter, r *http.Request) {
+	limit := 0
+	if q := r.URL.Query().Get("limit"); q != "" {
+		n, err := strconv.Atoi(q)
+		if err != nil || n < 0 {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("bad limit %q", q))
+			return
+		}
+		limit = n
+	}
+	writeJSON(w, http.StatusOK, s.engine.ExportHot(limit))
+}
+
+// FillResponse reports how much of a warm-fill was accepted.
+type FillResponse struct {
+	Accepted int `json:"accepted"`
+	Offered  int `json:"offered"`
+}
+
+// handleCacheFill serves the warm-fill import: POST /v1/cache/fill with
+// the /v1/cache/hot entry array as body.
+func (s *Server) handleCacheFill(w http.ResponseWriter, r *http.Request) {
+	// Fills can legitimately exceed the normal request bound (hundreds of
+	// result entries); still bound the body — maxHotLimit entries of
+	// modest results fit comfortably in 8 MiB.
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 8<<20))
+	var entries []CacheEntry
+	if err := dec.Decode(&entries); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad fill body: %w", err))
+		return
+	}
+	if len(entries) > maxHotLimit {
+		writeErr(w, http.StatusUnprocessableEntity, fmt.Errorf(
+			"fill of %d entries exceeds the %d-entry limit", len(entries), maxHotLimit))
+		return
+	}
+	n, err := s.engine.ImportHot(entries)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, FillResponse{Accepted: n, Offered: len(entries)})
+}

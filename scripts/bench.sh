@@ -22,8 +22,10 @@ cd "$(dirname "$0")/.."
 # The frozen-kernel hot paths gated by -compare: the per-call costs every
 # optimizer and simulator loop is built on. Macro benchmarks (figures,
 # campaigns) are recorded but not gated — they move with design changes;
-# these must only ever go down.
-frozen_benchmarks="BenchmarkExactPatternTime BenchmarkFreeze BenchmarkFrozenOverhead BenchmarkFrozenOverheadLog BenchmarkFirstOrderSolve BenchmarkMultilevelOptimize BenchmarkMultilevelCampaign BenchmarkHeteroOptimize BenchmarkHeteroSweep"
+# these must only ever go down. BenchmarkFleetLoadGen is the one gated
+# end-to-end path: warm per-request latency through the fleet router
+# (its qps/p50/p99 extras are recorded alongside, not gated).
+frozen_benchmarks="BenchmarkExactPatternTime BenchmarkFreeze BenchmarkFrozenOverhead BenchmarkFrozenOverheadLog BenchmarkFirstOrderSolve BenchmarkMultilevelOptimize BenchmarkMultilevelCampaign BenchmarkHeteroOptimize BenchmarkHeteroSweep BenchmarkFleetLoadGen"
 regression_pct=15
 
 # parse_min_ns <raw-file>: emit "name ns" lines, min ns/op per benchmark.
@@ -124,17 +126,23 @@ function esc(s) { gsub(/"/, "\\\"", s); return s }
 /^Benchmark/ {
     name = $1
     sub(/-[0-9]+$/, "", name)
-    ns = ""; bytes = ""; allocs = ""
+    ns = ""; bytes = ""; allocs = ""; qps = ""; p50 = ""; p99 = ""
     for (i = 2; i <= NF; i++) {
         if ($(i) == "ns/op") ns = $(i - 1)
         if ($(i) == "B/op") bytes = $(i - 1)
         if ($(i) == "allocs/op") allocs = $(i - 1)
+        if ($(i) == "qps") qps = $(i - 1)
+        if ($(i) == "p50-ns") p50 = $(i - 1)
+        if ($(i) == "p99-ns") p99 = $(i - 1)
     }
     if (ns == "") next
     if (!(name in best) || ns + 0 < best[name]) {
         best[name] = ns + 0
         b[name] = bytes
         a[name] = allocs
+        q[name] = qps
+        l50[name] = p50
+        l99[name] = p99
         if (!(name in seen)) { order[++k] = name; seen[name] = 1 }
     }
 }
@@ -151,6 +159,9 @@ END {
         printf "    \"%s\": {\"ns_per_op\": %s", esc(name), best[name]
         if (b[name] != "") printf ", \"bytes_per_op\": %s", b[name]
         if (a[name] != "") printf ", \"allocs_per_op\": %s", a[name]
+        if (q[name] != "") printf ", \"qps\": %s", q[name]
+        if (l50[name] != "") printf ", \"p50_ns\": %s", l50[name]
+        if (l99[name] != "") printf ", \"p99_ns\": %s", l99[name]
         printf "}%s\n", (i < k ? "," : "")
     }
     printf "  }\n}\n"

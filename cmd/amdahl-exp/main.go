@@ -59,6 +59,7 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -409,7 +410,13 @@ func run(ctx context.Context, args []string) error {
 func printSlopes(sw *experiments.SweepResult) {
 	fmt.Println("log-log slopes of the numerical optimum vs λ_ind:")
 	slopes := sw.Slopes()
-	for sc, s := range slopes {
+	scs := make([]costmodel.Scenario, 0, len(slopes))
+	for sc := range slopes {
+		scs = append(scs, sc)
+	}
+	sort.Slice(scs, func(i, j int) bool { return scs[i] < scs[j] })
+	for _, sc := range scs {
+		s := slopes[sc]
 		fmt.Printf("  %v: P* slope %+.3f, T* slope %+.3f, H slope %+.3f\n",
 			sc, s.P, s.T, s.H)
 	}

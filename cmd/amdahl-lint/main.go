@@ -1,18 +1,25 @@
 // Command amdahl-lint is the repository's invariant checker: a
-// multichecker over the five analyzers in internal/analyzers, enforcing
+// multichecker over the nine analyzers in internal/analyzers, enforcing
 // mechanically what earlier PRs enforced by reviewer memory (frozen-
 // kernel routing, NaN-proof validation, atomic artifact writes,
-// deterministic randomness, canonical cache-key tokens).
+// deterministic randomness, canonical cache-key tokens, sorted map
+// output, wall-clock containment, seed provenance, centralized retry
+// classification).
 //
 // Standalone (source) mode loads packages through `go list -export` and
-// type-checks them against the toolchain's export data:
+// type-checks them against the toolchain's export data, analyzing in
+// dependency order so facts-based analyzers (seedflow, errclass) see
+// their dependencies' facts:
 //
 //	amdahl-lint ./...
 //	amdahl-lint -run=nanguard,frozenloop amdahlyd/internal/sim
+//	amdahl-lint -json ./...            # NDJSON, one diagnostic per line
+//	amdahl-lint -format=github ./...   # ::error annotations for Actions
 //
 // It also speaks the `go vet -vettool` protocol (-V=full, -flags, and a
-// single *.cfg argument describing one compilation unit), so the same
-// binary drives both the CI lint job and
+// single *.cfg argument describing one compilation unit, facts carried
+// between units in the .vetx stamp files), so the same binary drives
+// both the CI lint job and
 //
 //	go vet -vettool=$(pwd)/amdahl-lint ./...
 //
@@ -42,6 +49,8 @@ func main() {
 	printFlags := flag.Bool("flags", false, "print analyzer flags in JSON (go vet protocol)")
 	listOnly := flag.Bool("list", false, "list analyzers and exit")
 	runNames := flag.String("run", "", "comma-separated analyzer names to run (default: all)")
+	jsonOut := flag.Bool("json", false, "emit diagnostics as NDJSON on stdout (file, line, analyzer, message, suppressible)")
+	format := flag.String("format", "", "diagnostic format: text (default) or github (workflow ::error annotations)")
 	flag.Var(versionFlag{}, "V", "print version and exit (go vet protocol)")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: amdahl-lint [-run=names] [packages]\n       amdahl-lint unit.cfg  (go vet -vettool mode)\n\nanalyzers:\n")
@@ -62,10 +71,14 @@ func main() {
 		}
 		return
 	}
+	opts := outputOptions{json: *jsonOut, format: *format}
+	if err := opts.validate(); err != nil {
+		log.Fatal(err)
+	}
 
 	args := flag.Args()
 	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
-		os.Exit(runVetUnit(args[0], suite))
+		os.Exit(runVetUnit(args[0], suite, opts))
 	}
 	if len(args) == 0 {
 		args = []string{"./..."}
@@ -78,10 +91,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	for _, d := range diags {
-		fmt.Fprintln(os.Stderr, d)
-	}
-	if len(diags) > 0 {
+	if emitDiagnostics(diags, opts) {
 		os.Exit(1)
 	}
 }

@@ -1,0 +1,129 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildLint compiles the amdahl-lint binary into a temp dir and returns
+// its absolute path.
+func buildLint(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "amdahl-lint")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go build amdahl-lint: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// writeScratchModule lays out a throwaway module under dir.
+func writeScratchModule(t *testing.T, dir string, files map[string]string) {
+	t.Helper()
+	for name, src := range files {
+		path := filepath.Join(dir, name)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func runGoVet(t *testing.T, dir, vettool string) string {
+	t.Helper()
+	cmd := exec.Command("go", "vet", "-vettool="+vettool, "./...")
+	cmd.Dir = dir
+	out, _ := cmd.CombinedOutput()
+	return string(out)
+}
+
+// TestVettoolSuppressionAndStaleDirectives exercises the //lint:allow
+// machinery through the `go vet -vettool` unitchecker path, which source
+// mode tests cannot cover: a reasoned directive suppresses its
+// diagnostic, a reasonless one is rejected, and a directive that
+// suppresses nothing is reported stale.
+func TestVettoolSuppressionAndStaleDirectives(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a binary and shells out to go vet")
+	}
+	bin := buildLint(t)
+	dir := t.TempDir()
+	writeScratchModule(t, dir, map[string]string{
+		"go.mod": "module scratch\n\ngo 1.24\n",
+		"lib/lib.go": `package lib
+
+import "os"
+
+func suppressed() error {
+	//lint:allow atomicwrite scratch fixture: suppression must survive the vettool path
+	return os.WriteFile("suppressed", nil, 0o644)
+}
+
+func unsuppressed() error {
+	return os.WriteFile("unsuppressed", nil, 0o644)
+}
+
+func stale() int {
+	//lint:allow atomicwrite nothing below violates, so this directive is stale
+	return 1
+}
+`,
+	})
+	out := runGoVet(t, dir, bin)
+
+	// The suppressed write is on line 7, the unsuppressed one on line 11.
+	if strings.Contains(out, "lib.go:7:") {
+		t.Errorf("reasoned //lint:allow did not suppress under go vet:\n%s", out)
+	}
+	if !strings.Contains(out, "lib.go:11:") || !strings.Contains(out, "[atomicwrite]") {
+		t.Errorf("unsuppressed violation missing from go vet output:\n%s", out)
+	}
+	if !strings.Contains(out, "suppresses nothing") || !strings.Contains(out, "[lintdirective]") {
+		t.Errorf("stale directive not reported under go vet:\n%s", out)
+	}
+}
+
+// TestVettoolFactsFlowAcrossUnits seeds a cross-package seedflow
+// violation: the SeedParam fact earned in scratch/lib must reach the
+// scratch/app compilation unit through the .vetx stamp files.
+func TestVettoolFactsFlowAcrossUnits(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a binary and shells out to go vet")
+	}
+	bin := buildLint(t)
+	dir := t.TempDir()
+	writeScratchModule(t, dir, map[string]string{
+		"go.mod": "module scratch\n\ngo 1.24\n",
+		"internal/rng/rng.go": `package rng
+
+type Rand struct{ s uint64 }
+
+func New(seed uint64) *Rand { return &Rand{s: seed} }
+`,
+		"lib/lib.go": `package lib
+
+import "scratch/internal/rng"
+
+func NewStream(seed uint64) *rng.Rand { return rng.New(seed) }
+`,
+		"app/app.go": `package app
+
+import (
+	"os"
+
+	"scratch/lib"
+)
+
+func FromPid() interface{} { return lib.NewStream(uint64(os.Getpid())) }
+`,
+	})
+	out := runGoVet(t, dir, bin)
+	if !strings.Contains(out, "os.Getpid in a seed argument of NewStream") || !strings.Contains(out, "[seedflow]") {
+		t.Errorf("cross-package seedflow violation not caught via vetx facts:\n%s", out)
+	}
+}

@@ -25,16 +25,23 @@ type vetConfig struct {
 	GoFiles                   []string
 	ImportMap                 map[string]string
 	PackageFile               map[string]string
+	PackageVetx               map[string]string
 	VetxOnly                  bool
 	VetxOutput                string
 	SucceedOnTypecheckFailure bool
 }
 
 // runVetUnit analyzes one compilation unit under the go vet protocol and
-// returns the process exit code. Facts are not used by this suite, so
-// the vetx output is written empty — its existence is all `go vet`
-// requires for caching.
-func runVetUnit(cfgPath string, suite []*analysis.Analyzer) int {
+// returns the process exit code. The .vetx stamp files carry real
+// payloads now: the facts exported while analyzing this unit, merged
+// with everything imported from the dependencies' vetx files, so
+// cross-package analyzers (seedflow, errclass) see the same fact flow
+// under `go vet -vettool` as under the source-mode driver. Dependency
+// units arrive with VetxOnly set — go vet wants only their facts — and
+// are analyzed best-effort: a dependency outside the module that this
+// driver cannot re-type-check (some cgo-heavy stdlib units) degrades to
+// passing its imported facts through, never to a hard failure.
+func runVetUnit(cfgPath string, suite []*analysis.Analyzer, opts outputOptions) int {
 	data, err := os.ReadFile(cfgPath)
 	if err != nil {
 		log.Fatal(err)
@@ -43,20 +50,49 @@ func runVetUnit(cfgPath string, suite []*analysis.Analyzer) int {
 	if err := json.Unmarshal(data, cfg); err != nil {
 		log.Fatalf("cannot decode vet config %s: %v", cfgPath, err)
 	}
+	imported := analysis.NewFactSet()
+	for _, vetxFile := range cfg.PackageVetx {
+		data, err := os.ReadFile(vetxFile)
+		if err != nil {
+			continue // a dep whose vetx another tool owns; nothing to import
+		}
+		facts, err := analysis.DecodeFacts(data)
+		if err != nil {
+			continue // legacy or foreign stamp file: no facts to be had
+		}
+		imported.Merge(facts)
+	}
+
+	diags, facts := analyzeVetUnit(cfg, suite, imported)
 	if cfg.VetxOutput != "" {
-		//lint:allow atomicwrite vetx facts file owned by the go vet cache; only its existence matters
-		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+		payload, err := facts.Encode()
+		if err != nil {
+			log.Fatal(err)
+		}
+		//lint:allow atomicwrite vetx facts file owned by the go vet cache; a torn write is re-run, not trusted
+		if err := os.WriteFile(cfg.VetxOutput, payload, 0o666); err != nil {
 			log.Fatal(err)
 		}
 	}
 	if cfg.VetxOnly {
 		return 0
 	}
+	if emitDiagnostics(diags, opts) {
+		return 1
+	}
+	return 0
+}
+
+// analyzeVetUnit type-checks and analyzes the unit, returning its
+// diagnostics and the cumulative fact set. Units that are out of scope
+// (test mains, pure test halves) or that cannot be type-checked while
+// only facts are wanted contribute their imported facts unchanged.
+func analyzeVetUnit(cfg *vetConfig, suite []*analysis.Analyzer, imported *analysis.FactSet) ([]analysis.Diagnostic, *analysis.FactSet) {
 	// Generated test-main units and the _test.go halves of test variants
 	// are out of scope: the invariants govern production code, and the
 	// plain files of an in-package test unit are still analyzed below.
 	if strings.HasSuffix(cfg.ImportPath, ".test") {
-		return 0
+		return nil, imported
 	}
 	var goFiles []string
 	for _, f := range cfg.GoFiles {
@@ -65,7 +101,7 @@ func runVetUnit(cfgPath string, suite []*analysis.Analyzer) int {
 		}
 	}
 	if len(goFiles) == 0 {
-		return 0
+		return nil, imported
 	}
 
 	fset := token.NewFileSet()
@@ -90,22 +126,20 @@ func runVetUnit(cfgPath string, suite []*analysis.Analyzer) int {
 
 	pkg, err := analysis.TypeCheckFiles(fset, cfg.ImportPath, goFiles, imp)
 	if err != nil {
-		if cfg.SucceedOnTypecheckFailure {
-			return 0
+		if cfg.SucceedOnTypecheckFailure || cfg.VetxOnly {
+			return nil, imported
 		}
 		log.Fatal(err)
 	}
-	diags, err := analysis.Run([]*analysis.Package{pkg}, suite)
+	pkg.DepOnly = cfg.VetxOnly
+	diags, facts, err := analysis.RunWithFacts([]*analysis.Package{pkg}, suite, imported)
 	if err != nil {
+		if cfg.VetxOnly {
+			return nil, imported
+		}
 		log.Fatal(err)
 	}
-	for _, d := range diags {
-		fmt.Fprintln(os.Stderr, d)
-	}
-	if len(diags) > 0 {
-		return 1
-	}
-	return 0
+	return diags, facts
 }
 
 type importerFunc func(path string) (*types.Package, error)

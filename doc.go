@@ -142,14 +142,22 @@
 // The conventions the architecture depends on — hot loops on
 // core.Frozen, NaN-proof float validation (!(x > 0), never x <= 0),
 // artifact writes through internal/atomicio, randomness through
-// internal/rng, cache keys in exact hex — are enforced mechanically by
-// cmd/amdahl-lint, a multichecker over the five analyzers in
-// internal/analyzers (frozenloop, nanguard, atomicwrite, rawrand,
-// keyfmt). CI runs it via scripts/lint.sh; it also speaks the `go vet
-// -vettool` protocol. Justified exceptions are annotated in place with
-// `//lint:allow <analyzer> <reason>`. New cross-cutting invariants
-// ship with an analyzer, not a comment. See DESIGN.md, "Enforced
-// invariants".
+// internal/rng, cache keys in exact hex, sorted iteration wherever map
+// contents become output, wall-clock readings confined to the
+// latency/backoff packages, rng seeds derived only from canonical
+// material, 5xx classification centralized in service/fleet — are
+// enforced mechanically by cmd/amdahl-lint, a multichecker over the
+// nine analyzers in internal/analyzers (frozenloop, nanguard,
+// atomicwrite, rawrand, keyfmt, mapiter, walltime, seedflow,
+// errclass). The last two are interprocedural: they attach
+// gob-serialized facts to objects, carried between packages in
+// dependency order and between `go vet` compilation units in .vetx
+// stamp files. CI runs the suite via scripts/lint.sh; it also speaks
+// the `go vet -vettool` protocol and emits -json NDJSON or
+// -format=github annotations. Justified exceptions are annotated in
+// place with `//lint:allow <analyzer> <reason>`. New cross-cutting
+// invariants ship with an analyzer, not a comment. See DESIGN.md,
+// "Enforced invariants".
 //
 // Executables: cmd/amdahl-opt (optimal patterns), cmd/amdahl-sim
 // (Monte-Carlo pricing of one pattern), cmd/amdahl-exp (regenerate the

@@ -40,9 +40,19 @@ type Analyzer struct {
 	Doc string
 	// Run performs the check on one package.
 	Run func(*Pass) error
+	// FactTypes declares, by prototype value, every Fact type this
+	// analyzer exports or imports. An analyzer with a nil FactTypes is
+	// purely local; one with facts participates in cross-package
+	// propagation (dependency order in source mode, .vetx files under
+	// `go vet -vettool`).
+	FactTypes []Fact
 }
 
-// A Pass is one analyzer's view of one type-checked package.
+// A Pass is one analyzer's view of one type-checked package. Beyond the
+// syntax and types of the package itself, a Pass exposes the analyzer's
+// facts: Import* reads facts exported by earlier passes over this
+// package's dependencies, Export* publishes facts for passes over its
+// dependents.
 type Pass struct {
 	Analyzer  *Analyzer
 	Fset      *token.FileSet
@@ -51,6 +61,7 @@ type Pass struct {
 	TypesInfo *types.Info
 
 	report func(Diagnostic)
+	facts  *FactSet
 }
 
 // Report records a finding. The Analyzer field is filled in by the

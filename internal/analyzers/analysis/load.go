@@ -27,6 +27,10 @@ type Package struct {
 	Files      []*ast.File
 	Types      *types.Package
 	TypesInfo  *types.Info
+	// DepOnly marks a package analyzed only so its facts flow to the
+	// packages that were actually requested; its diagnostics are
+	// discarded by the driver.
+	DepOnly bool
 }
 
 // listPkg is the subset of `go list -json` output the loader consumes.
@@ -156,6 +160,14 @@ func typeCheck(fset *token.FileSet, importPath, dir string, fileNames []string, 
 // Test files are out of scope by design: the invariants amdahl-lint
 // enforces are production-code routing rules, and tests legitimately
 // write scratch files and poke hot paths directly.
+//
+// The returned slice preserves `go list -deps` order — dependencies
+// before dependents — which is the order the facts layer requires:
+// RunWithFacts analyzes packages front to back, so by the time a package
+// is inspected, every fact its dependencies export is already in the
+// store. Non-standard dependencies outside the requested patterns are
+// loaded too, marked DepOnly: they contribute facts but their
+// diagnostics are discarded.
 func Load(dir string, patterns ...string) ([]*Package, error) {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
@@ -169,7 +181,7 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 	imp := newImporter(fset, exports)
 	var out []*Package
 	for _, p := range listed {
-		if p.DepOnly || p.Standard || len(p.GoFiles) == 0 {
+		if p.Standard || len(p.GoFiles) == 0 {
 			continue
 		}
 		if p.Error != nil {
@@ -179,9 +191,9 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 		if err != nil {
 			return nil, err
 		}
+		pkg.DepOnly = p.DepOnly
 		out = append(out, pkg)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].ImportPath < out[j].ImportPath })
 	return out, nil
 }
 

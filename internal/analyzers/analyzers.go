@@ -1,6 +1,8 @@
-// Package analyzers is amdahl-lint's rule set: five repo-specific
+// Package analyzers is amdahl-lint's rule set: nine repo-specific
 // analyzers, each mechanically enforcing an invariant this codebase
 // previously enforced only by reviewer memory.
+//
+// The original five are purely local — one package at a time:
 //
 //	frozenloop  — PR-1 two-tier rule: no Model.Overhead / Model.Freeze /
 //	              hetero.CompileTopology inside loop bodies; hot loops
@@ -16,6 +18,26 @@
 //	              builders use core.FormatFloatKey's exact-hex token,
 //	              never %v/%g/%f.
 //
+// PR 10 added the determinism suite, two of which are interprocedural
+// through the facts layer in the sibling analysis package (facts are
+// gob-encoded per object, propagated in dependency order by the source
+// driver and through .vetx stamp files under `go vet -vettool`):
+//
+//	mapiter     — no order-sensitive output (appends, row/CSV/JSON
+//	              writes, string building, float accumulation, channel
+//	              sends, goroutine spawns, outer-container merges) while
+//	              ranging over a map without an intervening sort.
+//	walltime    — time.Now/time.Since only in the latency/backoff
+//	              packages (internal/fleet, internal/service); wall
+//	              clock must never reach cache keys, seeds or artifacts.
+//	seedflow    — facts-based: rng seeds derive only from rng.Split
+//	              streams, FNV label-hash material, or the flag-declared
+//	              master seed; SeedParamFact carries seed positions to
+//	              callers across packages.
+//	errclass    — facts-based: literal 5xx status comparisons only
+//	              inside internal/service and internal/fleet, whose
+//	              exported classifiers carry StatusClassifierFact.
+//
 // The repo rule going forward (ROADMAP): a new invariant ships with an
 // analyzer here, not with a comment. Legitimate exceptions carry
 // //lint:allow <analyzer> <reason> on or directly above the flagged
@@ -29,9 +51,13 @@ import "amdahlyd/internal/analyzers/analysis"
 func All() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
 		AtomicWrite,
+		ErrClass,
 		FrozenLoop,
 		KeyFmt,
+		MapIter,
 		NaNGuard,
 		RawRand,
+		SeedFlow,
+		WallTime,
 	}
 }

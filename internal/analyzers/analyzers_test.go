@@ -26,10 +26,26 @@ func TestKeyFmt(t *testing.T) {
 	analysistest.Run(t, "testdata", KeyFmt, "keyfmt")
 }
 
+func TestMapIter(t *testing.T) {
+	analysistest.Run(t, "testdata", MapIter, "mapiter")
+}
+
+func TestWallTime(t *testing.T) {
+	analysistest.Run(t, "testdata", WallTime, "walltime")
+}
+
+func TestSeedFlow(t *testing.T) {
+	analysistest.Run(t, "testdata", SeedFlow, "seedflow")
+}
+
+func TestErrClass(t *testing.T) {
+	analysistest.Run(t, "testdata", ErrClass, "errclass")
+}
+
 func TestAllIsStableAndNamed(t *testing.T) {
 	all := All()
-	if len(all) != 5 {
-		t.Fatalf("All() returned %d analyzers, want 5", len(all))
+	if len(all) != 9 {
+		t.Fatalf("All() returned %d analyzers, want 9", len(all))
 	}
 	seen := map[string]bool{}
 	for _, a := range all {

@@ -1,0 +1,294 @@
+package analyzers
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"amdahlyd/internal/analyzers/analysis"
+)
+
+// MapIter enforces the byte-stable-output rule behind the repo's
+// headline guarantee: Go map iteration order is deliberately randomized,
+// so ranging over a map while producing anything order-sensitive —
+// appending to a slice, building a string, accumulating floats (addition
+// is not associative), writing rows/CSV/JSON, sending on a channel,
+// spawning goroutines, or merging into an outer container — yields
+// output that differs run to run. The PR-9 router stats merge and
+// health-probe snapshot were live instances.
+//
+// The blessed idiom collects the keys, sorts them, and iterates the
+// sorted slice; a range whose only order-sensitive effect is appending
+// to a slice that is sorted later in the same function (the key-collect
+// step of that idiom) is exempt. Order-independent traversals — counting,
+// integer accumulation, building a set, delete — are untouched.
+var MapIter = &analysis.Analyzer{
+	Name: "mapiter",
+	Doc: "flags ranging over a map while appending, writing output, building strings, accumulating " +
+		"floats, sending, spawning goroutines or merging into outer containers without an " +
+		"intervening sort (nondeterministic-output bug class)",
+	Run: runMapIter,
+}
+
+// mapSink is one order-sensitive operation found in a map-range body.
+type mapSink struct {
+	pos      token.Pos
+	describe string
+	// appendTo is non-nil for append sinks: the slice variable, used by
+	// the sorted-later exemption.
+	appendTo types.Object
+}
+
+func runMapIter(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				rs, ok := n.(*ast.RangeStmt)
+				if !ok {
+					return true
+				}
+				t := pass.TypesInfo.TypeOf(rs.X)
+				if t == nil {
+					return true
+				}
+				if _, isMap := t.Underlying().(*types.Map); !isMap {
+					return true
+				}
+				checkMapRange(pass, fd, rs)
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+func checkMapRange(pass *analysis.Pass, fd *ast.FuncDecl, rs *ast.RangeStmt) {
+	sinks := collectSinks(pass, rs)
+	if len(sinks) == 0 {
+		return
+	}
+	// The key-collect idiom: every sink is an append, and every append
+	// target is sorted after the loop, before anything could consume the
+	// map-ordered contents.
+	allSortedAppends := true
+	for _, s := range sinks {
+		if s.appendTo == nil || !sortedAfter(pass, fd, rs, s.appendTo) {
+			allSortedAppends = false
+			break
+		}
+	}
+	if allSortedAppends {
+		return
+	}
+	s := sinks[0]
+	pass.Reportf(rs.For,
+		"ranging over map %s while %s; map order is randomized — collect the keys, sort, and iterate the sorted slice",
+		exprString(rs.X), s.describe)
+}
+
+// collectSinks walks the loop body for order-sensitive operations.
+func collectSinks(pass *analysis.Pass, rs *ast.RangeStmt) []mapSink {
+	var sinks []mapSink
+	add := func(pos token.Pos, desc string, appendTo types.Object) {
+		sinks = append(sinks, mapSink{pos: pos, describe: desc, appendTo: appendTo})
+	}
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.SendStmt:
+			add(s.Arrow, "sending on a channel", nil)
+		case *ast.GoStmt:
+			add(s.Go, "spawning goroutines in map order", nil)
+		case *ast.AssignStmt:
+			classifyAssign(pass, rs, s, add)
+		case *ast.CallExpr:
+			if desc := writeSinkDesc(pass, s); desc != "" {
+				add(s.Pos(), desc, nil)
+			}
+		}
+		return true
+	})
+	return sinks
+}
+
+// classifyAssign detects appends, string building, float accumulation
+// and outer-container merges.
+func classifyAssign(pass *analysis.Pass, rs *ast.RangeStmt, s *ast.AssignStmt, add func(token.Pos, string, types.Object)) {
+	for i, lhs := range s.Lhs {
+		// Merging into a container declared outside the loop:
+		// out[name] = ..., out.Field[name] = ... .
+		if idx, ok := ast.Unparen(lhs).(*ast.IndexExpr); ok {
+			if obj := rootObject(pass, idx.X); obj != nil && declaredOutside(obj, rs) {
+				add(s.Pos(), fmt.Sprintf("merging into %s in map order", exprString(idx.X)), nil)
+			}
+			continue
+		}
+		obj := rootObject(pass, lhs)
+		if obj == nil || !declaredOutside(obj, rs) {
+			continue
+		}
+		t := obj.Type()
+		switch s.Tok {
+		case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+			if isString(t) {
+				add(s.Pos(), fmt.Sprintf("building string %s in map order", obj.Name()), nil)
+			} else if isFloat(t) {
+				add(s.Pos(), fmt.Sprintf("accumulating float %s in map order (float addition is not associative)", obj.Name()), nil)
+			}
+		case token.ASSIGN:
+			if i < len(s.Rhs) {
+				if call, ok := ast.Unparen(s.Rhs[i]).(*ast.CallExpr); ok && isBuiltinAppend(pass, call) {
+					add(s.Pos(), fmt.Sprintf("appending to %s", obj.Name()), obj)
+					continue
+				}
+				if selfReferential(pass, s.Rhs[i], obj) {
+					if isString(t) {
+						add(s.Pos(), fmt.Sprintf("building string %s in map order", obj.Name()), nil)
+					} else if isFloat(t) {
+						add(s.Pos(), fmt.Sprintf("accumulating float %s in map order (float addition is not associative)", obj.Name()), nil)
+					}
+				}
+			}
+		}
+	}
+}
+
+// writeSinkDesc reports calls that emit ordered output: fmt printing,
+// Write/Encode-family methods (io.Writer, bufio, csv, json encoders).
+func writeSinkDesc(pass *analysis.Pass, call *ast.CallExpr) string {
+	fn := calleeFunc(pass, call)
+	if fn == nil {
+		return ""
+	}
+	name := fn.Name()
+	if fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+		switch name {
+		case "Print", "Printf", "Println", "Fprint", "Fprintf", "Fprintln":
+			return "writing formatted output in map order"
+		}
+		return "" // Sprintf and friends are pure
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	if sig == nil || sig.Recv() == nil {
+		return ""
+	}
+	switch name {
+	case "Write", "WriteString", "WriteByte", "WriteRune", "WriteAll":
+		return "writing rows in map order"
+	case "Encode", "EncodeToken":
+		return "encoding values in map order"
+	case "Print", "Printf", "Println":
+		return "printing in map order"
+	}
+	return ""
+}
+
+// sortedAfter reports whether obj is passed to a sort call after the
+// range statement within the enclosing function — the second half of the
+// collect-sort-iterate idiom.
+func sortedAfter(pass *analysis.Pass, fd *ast.FuncDecl, rs *ast.RangeStmt, obj types.Object) bool {
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rs.End() {
+			return true
+		}
+		fn := calleeFunc(pass, call)
+		if fn == nil || fn.Pkg() == nil {
+			return true
+		}
+		pkg := fn.Pkg().Path()
+		if pkg != "sort" && pkg != "slices" {
+			return true
+		}
+		for _, arg := range call.Args {
+			if rootObject(pass, arg) == obj {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// rootObject resolves the base identifier of x (x, x.f, x[i], *x, …) to
+// its object, or nil when the base is not a plain identifier.
+func rootObject(pass *analysis.Pass, x ast.Expr) types.Object {
+	for {
+		switch e := ast.Unparen(x).(type) {
+		case *ast.Ident:
+			return pass.TypesInfo.ObjectOf(e)
+		case *ast.SelectorExpr:
+			x = e.X
+		case *ast.IndexExpr:
+			x = e.X
+		case *ast.StarExpr:
+			x = e.X
+		case *ast.CallExpr:
+			return nil
+		default:
+			return nil
+		}
+	}
+}
+
+func declaredOutside(obj types.Object, rs *ast.RangeStmt) bool {
+	return obj.Pos() < rs.Pos() || obj.Pos() > rs.End()
+}
+
+func isBuiltinAppend(pass *analysis.Pass, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := pass.TypesInfo.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+// selfReferential reports whether rhs mentions obj (s = s + x shapes).
+func selfReferential(pass *analysis.Pass, rhs ast.Expr, obj types.Object) bool {
+	found := false
+	ast.Inspect(rhs, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && pass.TypesInfo.ObjectOf(id) == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+func isString(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isFloat(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// exprString renders a short display form of simple expressions for
+// diagnostics.
+func exprString(x ast.Expr) string {
+	switch e := ast.Unparen(x).(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprString(e.X) + "." + e.Sel.Name
+	case *ast.IndexExpr:
+		return exprString(e.X) + "[…]"
+	case *ast.StarExpr:
+		return "*" + exprString(e.X)
+	case *ast.CallExpr:
+		return exprString(e.Fun) + "(…)"
+	}
+	return "expression"
+}

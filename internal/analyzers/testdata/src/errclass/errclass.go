@@ -1,0 +1,34 @@
+// Fixtures for the errclass analyzer: literal 5xx status comparisons
+// outside the classification home packages.
+package errclass
+
+import "net/http"
+
+func badLiteral(code int) bool {
+	return code == 503 // want `literal HTTP status comparison outside internal/service and internal/fleet`
+}
+
+func badRange(resp *http.Response) bool {
+	return resp.StatusCode >= 500 // want `literal HTTP status comparison outside internal/service and internal/fleet`
+}
+
+func badNamedConst(status int) bool {
+	return status == http.StatusServiceUnavailable // want `literal HTTP status comparison outside internal/service and internal/fleet`
+}
+
+func badReversed(resp *http.Response) bool {
+	return 500 <= resp.StatusCode // want `literal HTTP status comparison outside internal/service and internal/fleet`
+}
+
+func goodBufferSize(n int) bool {
+	return n == 512 // a size, not a status: nothing status-named in sight
+}
+
+func goodNonFiveHundred(resp *http.Response) bool {
+	return resp.StatusCode == http.StatusOK // 2xx checks are not retry classification
+}
+
+func allowedException(code int) bool {
+	//lint:allow errclass protocol conformance test helper, not a retry decision
+	return code == 503
+}

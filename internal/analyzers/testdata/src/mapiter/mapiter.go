@@ -1,0 +1,103 @@
+// Fixtures for the mapiter analyzer: order-sensitive work inside map
+// ranges, and the blessed collect-sort-iterate idiom.
+package mapiter
+
+import (
+	"fmt"
+	"os"
+	"sort"
+)
+
+func badAppend(m map[string]int) []string {
+	var out []string
+	for k := range m { // want `ranging over map m while appending to out`
+		out = append(out, k)
+	}
+	return out
+}
+
+func goodCollectSort(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func goodCollectSlicesSort(m map[string]int) int {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	total := 0
+	for _, k := range keys {
+		total += m[k]
+	}
+	return total
+}
+
+func badWrite(m map[string]float64) {
+	for k, v := range m { // want `ranging over map m while writing formatted output in map order`
+		fmt.Fprintf(os.Stderr, "%s=%d\n", k, int(v))
+	}
+}
+
+func badStringBuild(m map[string]int) string {
+	s := ""
+	for k := range m { // want `ranging over map m while building string s in map order`
+		s += k
+	}
+	return s
+}
+
+func badFloatAccumulate(m map[string]float64) float64 {
+	total := 0.0
+	for _, v := range m { // want `ranging over map m while accumulating float total in map order`
+		total += v
+	}
+	return total
+}
+
+func goodIntAccumulate(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+func badMerge(dst, src map[string]int) {
+	for k, v := range src { // want `ranging over map src while merging into dst in map order`
+		dst[k] = v
+	}
+}
+
+func badSend(m map[string]int, ch chan string) {
+	for k := range m { // want `ranging over map m while sending on a channel`
+		ch <- k
+	}
+}
+
+func badGo(m map[string]string, probe func(string)) {
+	for _, addr := range m { // want `ranging over map m while spawning goroutines in map order`
+		go probe(addr)
+	}
+}
+
+func goodDelete(m map[string]int) {
+	for k, v := range m {
+		if v == 0 {
+			delete(m, k)
+		}
+	}
+}
+
+func goodPerIterationLocals(m map[string]int) {
+	for k, v := range m {
+		row := []string{k}
+		row = append(row, fmt.Sprint(v))
+		_ = row
+	}
+}

@@ -1,0 +1,68 @@
+// Fixtures for the seedflow analyzer: seed positions discovered through
+// rng.New and SeedParam facts, canonical vs ambient seed material.
+package seedflow
+
+import (
+	"hash/fnv"
+	"os"
+	"time"
+
+	"amdahlyd/internal/rng"
+)
+
+// newStream forwards its parameter into rng.New, so it earns a
+// SeedParamFact and its callers are checked below.
+func newStream(seed uint64) *rng.Rand { return rng.New(seed) }
+
+func goodLiteral() *rng.Rand { return rng.New(42) }
+
+func goodMaster(master uint64) *rng.Rand { return newStream(master ^ 0x9e3779b9) }
+
+func goodSplit(r *rng.Rand) *rng.Rand { return r.Split(3) }
+
+func goodFNVLabel(label string, master uint64) *rng.Rand {
+	h := fnv.New64a()
+	h.Write([]byte(label))
+	return newStream(h.Sum64() ^ master)
+}
+
+// labelSeed derives from FNV material only, so it earns SeedDerivedFact
+// and goodDerived passes.
+func labelSeed(label string, master uint64) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(label))
+	return h.Sum64() ^ master
+}
+
+func goodDerived(master uint64) *rng.Rand {
+	return rng.New(labelSeed("cell/alpha=0.5", master))
+}
+
+func badDirectWallClock() *rng.Rand {
+	return rng.New(uint64(time.Now().UnixNano())) // want `Time.UnixNano in the seed argument of rng.New is not canonical seed material`
+}
+
+func badThroughFact() *rng.Rand {
+	return newStream(uint64(time.Now().Unix())) // want `Time.Unix in a seed argument of newStream is not canonical seed material`
+}
+
+func badPid() *rng.Rand {
+	return newStream(uint64(os.Getpid())) // want `os.Getpid in a seed argument of newStream is not canonical seed material`
+}
+
+type runCfg struct {
+	Runs int
+	Seed uint64
+}
+
+func badSeedField() runCfg {
+	return runCfg{Runs: 10, Seed: uint64(time.Now().UnixNano())} // want `Time.UnixNano in a Seed field is not canonical seed material`
+}
+
+func badSeedAssign(cfg *runCfg) {
+	cfg.Seed = uint64(time.Now().UnixNano()) // want `Time.UnixNano in a Seed field is not canonical seed material`
+}
+
+func goodSeedField(master uint64) runCfg {
+	return runCfg{Runs: 10, Seed: labelSeed("sweep", master)}
+}

@@ -1,0 +1,35 @@
+// Fixtures for the walltime analyzer: wall-clock readings outside the
+// latency/backoff packages.
+package walltime
+
+import "time"
+
+func badStamp() int64 {
+	return time.Now().UnixNano() // want `time.Now outside a latency/backoff package`
+}
+
+func badElapsed(start time.Time) time.Duration {
+	return time.Since(start) // want `time.Since outside a latency/backoff package`
+}
+
+func goodDurationMath(d time.Duration) time.Duration {
+	return 2*d + 50*time.Millisecond
+}
+
+func goodTicker(stop chan struct{}, tick func()) {
+	t := time.NewTicker(time.Second)
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+			tick()
+		}
+	}
+}
+
+func allowedException() time.Time {
+	//lint:allow walltime journal-style timestamp, metadata only, never reaches artifacts
+	return time.Now()
+}

@@ -1,0 +1,59 @@
+package analyzers
+
+import (
+	"go/ast"
+
+	"amdahlyd/internal/analyzers/analysis"
+)
+
+// wallClockAllowed lists the packages whose job is measuring real time:
+// the fleet (hedge timers, health-probe pacing, retry latency) and the
+// service layer (backoff, scheduler timeouts). Everywhere else —
+// planners, simulators, cache keys, seed derivation, artifact
+// rendering — wall-clock readings are banned: a time.Now that reaches a
+// cache key, a seed or an artifact silently breaks the byte-identical
+// reproduction guarantee, and the failure only shows up as a diff
+// between two runs that should have matched. One-off legitimate uses
+// (journal timestamps, CLI progress lines) carry //lint:allow walltime
+// with the justification written next to the call.
+var wallClockAllowed = map[string]bool{
+	"amdahlyd/internal/fleet":   true,
+	"amdahlyd/internal/service": true,
+}
+
+// WallTime flags time.Now and time.Since calls outside the latency and
+// backoff packages. Duration arithmetic, tickers and timers are fine
+// anywhere (they schedule work, they don't stamp results); it is the
+// reading of the wall clock into a value that threatens determinism.
+var WallTime = &analysis.Analyzer{
+	Name: "walltime",
+	Doc: "flags time.Now/time.Since outside latency/backoff packages (internal/fleet, internal/service); " +
+		"wall-clock readings must never reach cache keys, seeds, or artifacts",
+	Run: runWallTime,
+}
+
+func runWallTime(pass *analysis.Pass) error {
+	if wallClockAllowed[pass.Pkg.Path()] {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(pass, call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "time" {
+				return true
+			}
+			if fn.Name() == "Now" || fn.Name() == "Since" {
+				pass.Reportf(call.Pos(),
+					"time.%s outside a latency/backoff package; wall-clock must not reach "+
+						"deterministic paths (cache keys, seeds, artifacts) — measure latency in "+
+						"internal/fleet or internal/service, or annotate the exception", fn.Name())
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,6 +1,7 @@
 package fleet
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
@@ -491,5 +492,38 @@ func TestRouterStatsExposesPerShardCaches(t *testing.T) {
 	}
 	if hits == 0 {
 		t.Fatal("repeated request produced no cache hit on its shard")
+	}
+}
+
+// TestRouterStatsBytesStableAcrossCalls pins the mapiter fix in
+// Router.Stats and Ring.Peers: with traffic quiesced, /v1/stats must
+// serialize to the same bytes on every call — the ring membership slice
+// and the per-peer merge may not leak map iteration order.
+func TestRouterStatsBytesStableAcrossCalls(t *testing.T) {
+	rt, _ := newFleet(t, 3, nil, -1)
+	front := httptest.NewServer(rt)
+	defer front.Close()
+
+	body := `{"model":{"platform":"hera","scenario":1}}`
+	post(t, front.URL, "/v1/optimize", body)
+
+	fetch := func() []byte {
+		t.Helper()
+		resp, err := http.Get(front.URL + "/v1/stats")
+		if err != nil {
+			t.Fatalf("GET /v1/stats: %v", err)
+		}
+		defer resp.Body.Close()
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("read stats body: %v", err)
+		}
+		return b
+	}
+	first := fetch()
+	for i := 0; i < 5; i++ {
+		if got := fetch(); !bytes.Equal(got, first) {
+			t.Fatalf("stats bytes drifted on call %d:\nfirst: %s\n  got: %s", i+2, first, got)
+		}
 	}
 }

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"sort"
 	"sync"
 	"time"
 
@@ -143,22 +144,33 @@ func (h *HealthChecker) Fills() int {
 }
 
 // ProbeOnce runs one probe round across all peers (concurrently) and
-// applies the membership transitions. Exported so tests can step the
-// checker deterministically instead of sleeping through intervals.
+// applies the membership transitions. Probes launch and verdicts apply
+// in sorted peer order, so a round's evict/join sequence is identical
+// across runs. Exported so tests can step the checker deterministically
+// instead of sleeping through intervals.
 func (h *HealthChecker) ProbeOnce(ctx context.Context) {
+	names := make([]string, 0, len(h.peers))
+	for name := range h.peers {
+		names = append(names, name)
+	}
+	sort.Strings(names)
 	type verdict struct {
 		peer string
 		ok   bool
 	}
-	results := make(chan verdict, len(h.peers))
-	for name, base := range h.peers {
+	results := make(chan verdict, len(names))
+	for _, name := range names {
 		go func(name, base string) {
 			results <- verdict{peer: name, ok: h.probe(ctx, base)}
-		}(name, base)
+		}(name, h.peers[name])
 	}
-	for range h.peers {
+	verdicts := make(map[string]bool, len(names))
+	for range names {
 		v := <-results
-		h.observe(v.peer, v.ok)
+		verdicts[v.peer] = v.ok
+	}
+	for _, name := range names {
+		h.observe(name, verdicts[name])
 	}
 }
 

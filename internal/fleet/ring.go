@@ -94,7 +94,9 @@ func (r *Ring) Has(peer string) bool {
 	return r.peers[peer]
 }
 
-// Peers returns the current members in unspecified order.
+// Peers returns the current members in sorted order, so callers that
+// render or serialize the membership (the router's /v1/stats, logs) get
+// identical bytes for identical membership.
 func (r *Ring) Peers() []string {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
@@ -102,6 +104,7 @@ func (r *Ring) Peers() []string {
 	for p := range r.peers {
 		out = append(out, p)
 	}
+	sort.Strings(out)
 	return out
 }
 

@@ -10,6 +10,7 @@ import (
 	"io"
 	"net/http"
 	"net/url"
+	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -136,7 +137,13 @@ func NewRouter(opts RouterOptions) (*Router, error) {
 	}
 	ring := NewRing()
 	peers := make(map[string]*peerCounters, len(opts.Peers))
-	for name, base := range opts.Peers {
+	names := make([]string, 0, len(opts.Peers))
+	for name := range opts.Peers {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		base := opts.Peers[name]
 		u, err := url.Parse(base)
 		if err != nil || u.Scheme == "" || u.Host == "" {
 			return nil, fmt.Errorf("fleet: peer %q: base URL %q is not absolute", name, base)
@@ -695,8 +702,14 @@ func (rt *Router) Stats(ctx context.Context) RouterStats {
 		Shed:  rt.shed.Load(),
 		Peers: make(map[string]PeerStats, len(rt.opts.Peers)),
 	}
+	names := make([]string, 0, len(rt.peers))
 	rt.mu.Lock()
-	for name, c := range rt.peers {
+	for name := range rt.peers {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		c := rt.peers[name]
 		out.Peers[name] = PeerStats{
 			URL:       rt.opts.Peers[name],
 			InRing:    rt.ring.Has(name),
@@ -714,8 +727,8 @@ func (rt *Router) Stats(ctx context.Context) RouterStats {
 	var wg sync.WaitGroup
 	var smu sync.Mutex
 	engines := make(map[string]*service.Stats)
-	for name, ps := range out.Peers {
-		if !ps.InRing {
+	for _, name := range names {
+		if !out.Peers[name].InRing {
 			continue
 		}
 		wg.Add(1)
@@ -745,7 +758,11 @@ func (rt *Router) Stats(ctx context.Context) RouterStats {
 		}(name)
 	}
 	wg.Wait()
-	for name, st := range engines {
+	for _, name := range names {
+		st := engines[name]
+		if st == nil {
+			continue
+		}
 		ps := out.Peers[name]
 		ps.Engine = st
 		out.Peers[name] = ps

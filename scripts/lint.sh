@@ -7,9 +7,14 @@
 #   packages default to ./... .
 #
 #        scripts/lint.sh -selfcheck [packages...]
-#   Gate-of-the-gate: before the real run, seed a known violation in a
-#   scratch package and require the suite to reject it, so a silently
-#   broken analyzer build cannot pass as "no findings".
+#   Gate-of-the-gate: before the real run, seed known violations in a
+#   scratch module — one per analyzer added since the suite grew — and
+#   require the suite to reject every one, so a silently broken analyzer
+#   build cannot pass as "no findings". The seeds include a
+#   cross-package seedflow violation (the SeedParam fact is earned in
+#   seed/lib and the bad caller lives in seed/app), proven in source
+#   mode and again through `go vet -vettool`, so fact propagation
+#   through .vetx stamp files is exercised end to end.
 #
 # Exit status 1 on any diagnostic (after //lint:allow suppression),
 # matching `go vet`. The same binary also drives
@@ -25,22 +30,85 @@ go build -o "$bin/amdahl-lint" ./cmd/amdahl-lint
 if [ "${1:-}" = "-selfcheck" ]; then
     shift
     seed="$bin/seed"
-    mkdir -p "$seed"
-    cat >"$seed/seed.go" <<'EOF'
-package seed
-
-import "os"
-
-func violate() error { return os.WriteFile("x", nil, 0o644) }
-EOF
+    mkdir -p "$seed/lib" "$seed/app" "$seed/internal/rng"
     cat >"$seed/go.mod" <<'EOF'
 module seed
 
 go 1.24
 EOF
-    echo "lint.sh: self-check — seeded violation must be caught…" >&2
-    if (cd "$seed" && "$bin/amdahl-lint" ./...) >/dev/null 2>&1; then
-        echo "lint.sh: SELF-CHECK FAILED: analyzers missed a seeded violation" >&2
+    cat >"$seed/internal/rng/rng.go" <<'EOF'
+package rng
+
+type Rand struct{ s uint64 }
+
+func New(seed uint64) *Rand { return &Rand{s: seed} }
+EOF
+    cat >"$seed/lib/lib.go" <<'EOF'
+package lib
+
+import (
+	"os"
+	"time"
+
+	"seed/internal/rng"
+)
+
+// one seeded violation per analyzer the self-check gates on:
+
+func atomicwriteSeed() error { return os.WriteFile("x", nil, 0o644) }
+
+func mapiterSeed(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+func walltimeSeed() int64 { return time.Now().UnixNano() }
+
+func errclassSeed(code int) bool { return code == 503 }
+
+// NewStream earns a SeedParam fact; the violating caller is in seed/app,
+// one compilation unit downstream.
+func NewStream(s uint64) *rng.Rand { return rng.New(s) }
+EOF
+    cat >"$seed/app/app.go" <<'EOF'
+package app
+
+import (
+	"os"
+
+	"seed/lib"
+)
+
+func FromPid() interface{} { return lib.NewStream(uint64(os.Getpid())) }
+EOF
+    echo "lint.sh: self-check — seeded violations must be caught…" >&2
+    if out="$(cd "$seed" && "$bin/amdahl-lint" ./... 2>&1)"; then
+        echo "lint.sh: SELF-CHECK FAILED: analyzers missed every seeded violation" >&2
+        exit 2
+    fi
+    for a in atomicwrite mapiter walltime errclass seedflow; do
+        if ! grep -q "\[$a\]" <<<"$out"; then
+            echo "lint.sh: SELF-CHECK FAILED: analyzer $a missed its seeded violation" >&2
+            echo "$out" >&2
+            exit 2
+        fi
+    done
+    if ! grep -q "app.go.*\[seedflow\]" <<<"$out"; then
+        echo "lint.sh: SELF-CHECK FAILED: cross-package seedflow violation not caught in source mode" >&2
+        echo "$out" >&2
+        exit 2
+    fi
+    echo "lint.sh: self-check — same seeds through go vet -vettool…" >&2
+    if vetout="$(cd "$seed" && go vet -vettool="$bin/amdahl-lint" ./... 2>&1)"; then
+        echo "lint.sh: SELF-CHECK FAILED: go vet -vettool missed every seeded violation" >&2
+        exit 2
+    fi
+    if ! grep -q "app.go.*\[seedflow\]" <<<"$vetout"; then
+        echo "lint.sh: SELF-CHECK FAILED: cross-package seedflow violation not caught under go vet -vettool (vetx fact propagation broken)" >&2
+        echo "$vetout" >&2
         exit 2
     fi
     echo "lint.sh: self-check ok" >&2
